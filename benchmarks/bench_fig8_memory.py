@@ -1,0 +1,39 @@
+"""Figure 8 (a/b): peak total queue size under scenarios A, B, C, D.
+
+Paper claims reproduced here:
+
+* line A peaks at thousands of buffered tuples although the average input
+  rate is only ~50 tuples/s — the fast stream piles up behind the union;
+* on-demand ETS (line C) cuts the peak by more than two orders of magnitude;
+* line B is U-shaped: moderate punctuation rates drain the backlog, but
+  very high rates make punctuation itself occupy memory while bursts of
+  data tuples are being serviced.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import format_figure8
+
+
+def test_figure8_peak_queue_size(benchmark, sweep_cache):
+    sweep = benchmark.pedantic(sweep_cache, rounds=1, iterations=1)
+    print()
+    print(format_figure8(sweep))
+
+    peak_a = sweep.baselines["A"].peak_queue
+    peak_c = sweep.baselines["C"].peak_queue
+
+    # Thousands of tuples pile up without ETS (paper: "a peak queue size of
+    # thousands tuples").
+    assert peak_a > 1000
+    # On-demand ETS reduces memory usage by more than two orders of
+    # magnitude.
+    assert peak_a / peak_c > 100
+
+    # Line B is non-monotone: it first improves on A, then worsens again as
+    # high-rate punctuation occupies the buffers.
+    rates = sorted(sweep.periodic)
+    peaks = [sweep.periodic[r].peak_queue for r in rates]
+    best = min(peaks)
+    assert best < peaks[0]          # moderate rates beat starvation rates
+    assert peaks[-1] > 3 * best     # extreme rates pay for their heartbeats

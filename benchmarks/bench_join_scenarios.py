@@ -1,0 +1,54 @@
+"""Extension bench X2: the paper's scenarios with a window join as the IWP.
+
+The paper presents union results and notes join "treatment is however
+similar".  This bench verifies the claim: under the same skewed-rate
+workload, the window join shows the same A ≫ B ≫ C ≈ D ordering for
+latency, idle-waiting, and peak memory — with the extra twist that
+punctuation also expires join windows (state, not just queues).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_join_experiment
+from repro.metrics.report import format_table
+from repro.workloads.scenarios import ScenarioConfig
+
+DURATION = 60.0
+WINDOW = 30.0
+
+
+def run_all():
+    results = {}
+    for scenario, kwargs in (("A", {}),
+                             ("B", {"heartbeat_rate": 100.0}),
+                             ("C", {}),
+                             ("D", {})):
+        cfg = ScenarioConfig(scenario=scenario, duration=DURATION,
+                             seed=42, **kwargs)
+        results[scenario] = run_join_experiment(cfg, window_seconds=WINDOW)
+    return results
+
+
+def test_join_scenarios_match_union_shapes(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[label, res.mean_latency * 1e3, res.peak_queue,
+             res.idle_fraction * 100, res.delivered]
+            for label, res in results.items()]
+    print()
+    print(format_table(
+        ["scenario", "mean latency (ms)", "peak queue",
+         "idle-waiting (%)", "delivered"],
+        rows, title="X2 — window join under scenarios A/B/C/D"))
+
+    a, b, c, d = (results[k] for k in "ABCD")
+    # Same winners as the union experiment.
+    assert a.mean_latency > 50 * b.mean_latency > 0
+    assert b.mean_latency > 2 * c.mean_latency
+    assert abs(c.mean_latency - d.mean_latency) < 2e-3
+    assert a.idle_fraction > 0.9
+    assert c.idle_fraction < 0.01
+    assert a.peak_queue > 5 * c.peak_queue
+    # B and C converge on the same delivered results; A lags at the horizon.
+    assert b.delivered == c.delivered == d.delivered
+    assert a.delivered <= c.delivered

@@ -1,0 +1,55 @@
+"""Ablation X4: DFS backtracking vs round-robin operator scheduling.
+
+The paper's pitch is that on-demand ETS becomes "simple and efficient"
+once integrated with the DFS execution model: backtracking *is* the
+trigger.  A round-robin scheduler can emulate the trigger with an explicit
+end-of-pass source poll, but it pays a visit cost for every operator on
+every pass and delivers results a pass later.  This bench runs scenario C
+under both engines and compares latency and engine effort.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduling import RoundRobinEngine
+from repro.metrics.report import format_table
+from repro.workloads.scenarios import ScenarioConfig, build_union_scenario
+
+DURATION = 60.0
+
+
+def run_all():
+    results = {}
+    for label, engine_cls in (("dfs", None), ("round-robin", RoundRobinEngine)):
+        cfg = ScenarioConfig(scenario="C", duration=DURATION, seed=42,
+                             engine_cls=engine_cls)
+        results[label] = build_union_scenario(cfg).run()
+    return results
+
+
+def test_dfs_vs_round_robin(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for label, handles in results.items():
+        stats = handles.sim.engine.stats
+        rows.append([label, handles.recorder.mean * 1e3,
+                     handles.sink.delivered, stats.steps,
+                     stats.busy_time, handles.sim.idle_fraction("union")])
+    print()
+    print(format_table(
+        ["engine", "mean latency (ms)", "delivered", "steps",
+         "busy time (s)", "idle fraction"],
+        rows, title="X4 — scenario C under DFS vs round-robin scheduling"))
+
+    dfs = results["dfs"]
+    rr = results["round-robin"]
+    # Both compute the same stream...
+    assert dfs.sink.delivered == rr.sink.delivered
+    # ...but the DFS integration is cheaper per tuple and at least as fast
+    # end-to-end.
+    assert dfs.recorder.mean <= rr.recorder.mean
+    assert dfs.sim.engine.stats.busy_time < rr.sim.engine.stats.busy_time
+    # Both keep idle-waiting negligible — the ETS mechanism works under
+    # either scheduler; the execution-model integration is about cost.
+    assert dfs.sim.idle_fraction("union") < 0.01
+    assert rr.sim.idle_fraction("union") < 0.05

@@ -1,0 +1,44 @@
+"""Shared machinery for the benchmark suite.
+
+The paper's Figures 7 and 8 are two views of the same scenario sweep
+(A/C/D baselines plus the periodic-ETS rate sweep for line B), so the sweep
+runs once per pytest session and both benches read it.  Benchmark timings
+therefore mean: the *first* bench that touches the sweep pays for it; the
+dependent bench measures only its own formatting/assertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import SweepResult, run_sweep
+
+#: Simulated seconds for the A/C/D baselines (long enough for stable
+#: idle-waiting statistics at the paper's 0.05 tuples/s slow rate).
+BASELINE_DURATION = 120.0
+#: Simulated seconds per periodic-rate point (the B line stabilizes fast,
+#: and the high-rate points are CPU-hungry).
+SWEEP_DURATION = 40.0
+#: Periodic-ETS injection rates for line B.  The top rate is where
+#: punctuation service overhead bends latency and memory back up.
+HEARTBEAT_RATES = (0.1, 1.0, 10.0, 100.0, 1000.0, 4000.0)
+SEED = 42
+
+_CACHE: dict[str, SweepResult] = {}
+
+
+def paper_sweep() -> SweepResult:
+    """The shared Figure-7/Figure-8 sweep, computed once per session."""
+    if "sweep" not in _CACHE:
+        _CACHE["sweep"] = run_sweep(
+            duration=BASELINE_DURATION,
+            sweep_duration=SWEEP_DURATION,
+            seed=SEED,
+            heartbeat_rates=HEARTBEAT_RATES,
+        )
+    return _CACHE["sweep"]
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    return paper_sweep

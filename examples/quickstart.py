@@ -1,0 +1,55 @@
+"""Quickstart: the paper's experiment in ~40 lines.
+
+Builds the Fig.-4 query (two skewed Poisson streams, 95 %-selectivity
+filters, a union), runs it for two simulated minutes under each of the four
+scenarios of Section 6, and prints the metrics the paper reports: mean
+output latency, peak total queue size, and the union's idle-waiting share.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ScenarioConfig, build_union_scenario
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    scenarios = [
+        ("A", "internal timestamps, no ETS", {}),
+        ("B", "internal timestamps, periodic ETS @100/s",
+         {"heartbeat_rate": 100.0}),
+        ("C", "internal timestamps, on-demand ETS", {}),
+        ("D", "latent timestamps (optimum)", {}),
+    ]
+    rows = []
+    for label, description, extra in scenarios:
+        config = ScenarioConfig(scenario=label, duration=120.0, seed=42,
+                                **extra)
+        handles = build_union_scenario(config).run()
+        rows.append([
+            label,
+            description,
+            handles.recorder.mean * 1e3,
+            handles.sim.peak_queue_size,
+            handles.sim.idle_fraction("union") * 100,
+            handles.sink.delivered,
+        ])
+        print(f"scenario {label} done "
+              f"({handles.sink.delivered} tuples delivered)")
+
+    print()
+    print(format_table(
+        ["scenario", "setup", "mean latency (ms)", "peak queue (tuples)",
+         "idle-waiting (%)", "delivered"],
+        rows,
+        title="Paper Section 6 — the four timestamp-management scenarios"))
+    print()
+    print("Expected shape (paper): A orders of magnitude worse than C; "
+          "C within ~0.1 ms of D; B in between, tunable by heartbeat rate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables `pip install -e .` on offline hosts without wheel.
+
+The real metadata lives in pyproject.toml; setuptools reads it from there.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro: reproduction of "Optimizing Timestamp Management in Data Stream
+Management Systems" (Bai, Thakkar, Wang, Zaniolo — ICDE 2007).
+
+A Stream Mill-style data stream management system with:
+
+* a query-graph execution engine using depth-first Next-Operator-Selection
+  rules (Forward / Encore / Backtrack);
+* Time-Stamp Memory registers and the relaxed ``more`` condition for
+  Idle-Waiting-Prone operators (union, window join);
+* three timestamp kinds (external / internal / latent) and three ETS
+  regimes (none / periodic heartbeats / on-demand at backtracked sources);
+* a deterministic discrete-event simulation substrate with a CPU cost
+  model, so the paper's latency / memory / idle-waiting experiments are
+  reproducible on any machine.
+
+Quickstart::
+
+    from repro import (QueryGraph, Union, Select, OnDemandEts, Simulation,
+                       poisson_arrivals)
+    ...  # see examples/quickstart.py
+"""
+
+from .core import *  # noqa: F401,F403 - curated re-exports
+from .core import __all__ as _core_all
+from .core.operators import (
+    AggSpec,
+    Avg,
+    Count,
+    FlatMap,
+    Map,
+    Max,
+    Min,
+    Project,
+    Reorder,
+    Select,
+    Shed,
+    SinkNode,
+    SlidingAggregate,
+    SourceNode,
+    Sum,
+    TumblingAggregate,
+    Union,
+    WindowJoin,
+)
+from .metrics import IdleTracker, LatencyRecorder, QueueSampler, queue_summary
+from .sim import Arrival, CostModel, EventQueue, Simulation, VirtualClock
+from .workloads import (
+    SCENARIOS,
+    ScenarioConfig,
+    ScenarioHandles,
+    build_join_scenario,
+    build_union_scenario,
+    bursty_arrivals,
+    constant_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+    with_external_timestamps,
+    with_out_of_order_timestamps,
+)
+
+__version__ = "1.0.0"
+
+__all__ = list(_core_all) + [
+    "AggSpec", "Arrival", "Avg", "Count", "CostModel", "EventQueue",
+    "FlatMap", "IdleTracker", "LatencyRecorder", "Map", "Max", "Min",
+    "Project", "QueueSampler", "Reorder", "SCENARIOS", "ScenarioConfig",
+    "ScenarioHandles", "Select", "Shed", "Simulation", "SinkNode",
+    "SlidingAggregate", "SourceNode", "Sum", "TumblingAggregate", "Union",
+    "VirtualClock", "WindowJoin", "build_join_scenario",
+    "build_union_scenario", "bursty_arrivals", "constant_arrivals",
+    "poisson_arrivals", "queue_summary", "trace_arrivals",
+    "with_external_timestamps", "with_out_of_order_timestamps",
+    "__version__",
+]

@@ -1,0 +1,283 @@
+"""Command-line interface: run scenarios, figures, and query programs.
+
+Examples::
+
+    python -m repro scenario C --duration 120
+    python -m repro scenario B --heartbeat-rate 100 --join
+    python -m repro figure 7 --sweep-duration 40
+    python -m repro idle --heartbeat-rate 100
+    python -m repro run query.esl --until 60 --source fast:poisson:50 \\
+        --source slow:poisson:0.05 --ets on-demand
+
+The CLI is a thin veneer over :mod:`repro.experiments` and
+:mod:`repro.query.language`; everything it prints can be produced
+programmatically with those modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Sequence
+
+from .core.ets import NoEts, OnDemandEts, PeriodicEtsSchedule
+from .core.errors import ReproError
+from .experiments.figures import (
+    format_figure7,
+    format_figure8,
+    format_idle_table,
+    idle_waiting_table,
+    run_sweep,
+)
+from .experiments.runner import (
+    ExperimentResult,
+    run_join_experiment,
+    run_union_experiment,
+)
+from .metrics.report import format_table
+from .query.language import compile_query
+from .sim.kernel import Simulation
+from .workloads.arrival import constant_arrivals, poisson_arrivals
+from .workloads.datagen import uniform_value_payloads
+from .workloads.scenarios import SCENARIOS, ScenarioConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Optimizing Timestamp Management in "
+                    "Data Stream Management Systems' (ICDE 2007)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scenario = sub.add_parser(
+        "scenario", help="run one of the paper's scenarios A/B/C/D")
+    scenario.add_argument("name", choices=SCENARIOS)
+    scenario.add_argument("--duration", type=float, default=120.0,
+                          help="simulated seconds (default 120)")
+    scenario.add_argument("--rate-fast", type=float, default=50.0)
+    scenario.add_argument("--rate-slow", type=float, default=0.05)
+    scenario.add_argument("--heartbeat-rate", type=float, default=None,
+                          help="periodic-ETS rate (required for scenario B)")
+    scenario.add_argument("--seed", type=int, default=42)
+    scenario.add_argument("--join", action="store_true",
+                          help="use the window-join variant of the query")
+    scenario.add_argument("--strict", action="store_true",
+                          help="use the strict Fig.-1 IWP gating (ablation)")
+
+    figure = sub.add_parser(
+        "figure", help="regenerate paper figure 7 or 8")
+    figure.add_argument("number", type=int, choices=(7, 8))
+    figure.add_argument("--duration", type=float, default=120.0)
+    figure.add_argument("--sweep-duration", type=float, default=40.0)
+    figure.add_argument("--seed", type=int, default=42)
+    figure.add_argument("--rates", type=str,
+                        default="0.1,1,10,100,1000",
+                        help="comma-separated periodic-ETS rates for line B")
+
+    idle = sub.add_parser(
+        "idle", help="regenerate the Section-6 idle-waiting table")
+    idle.add_argument("--duration", type=float, default=120.0)
+    idle.add_argument("--heartbeat-rate", type=float, default=100.0)
+    idle.add_argument("--seed", type=int, default=42)
+
+    profile = sub.add_parser(
+        "profile", help="run a scenario and print the operator load profile")
+    profile.add_argument("name", choices=SCENARIOS)
+    profile.add_argument("--duration", type=float, default=60.0)
+    profile.add_argument("--rate-fast", type=float, default=50.0)
+    profile.add_argument("--rate-slow", type=float, default=0.05)
+    profile.add_argument("--heartbeat-rate", type=float, default=None)
+    profile.add_argument("--seed", type=int, default=42)
+
+    dot = sub.add_parser(
+        "dot", help="compile a query-language program and print Graphviz DOT")
+    dot.add_argument("program", help="path to the .esl program file")
+
+    validate = sub.add_parser(
+        "validate",
+        help="regenerate the full evaluation and check every paper claim")
+    validate.add_argument("--duration", type=float, default=120.0)
+    validate.add_argument("--sweep-duration", type=float, default=40.0)
+    validate.add_argument("--seed", type=int, default=42)
+    validate.add_argument("--rates", type=str,
+                          default="0.1,1,10,100,1000,4000")
+
+    run = sub.add_parser(
+        "run", help="compile and run a query-language program")
+    run.add_argument("program", help="path to the .esl program file")
+    run.add_argument("--until", type=float, required=True,
+                     help="simulated seconds to run")
+    run.add_argument("--source", action="append", default=[],
+                     metavar="NAME:KIND:RATE",
+                     help="arrival process per declared stream, e.g. "
+                          "fast:poisson:50 or slow:constant:0.1")
+    run.add_argument("--ets", choices=("on-demand", "none"),
+                     default="on-demand")
+    run.add_argument("--heartbeat", action="append", default=[],
+                     metavar="NAME:RATE",
+                     help="periodic-ETS injection on a stream")
+    run.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _print_result(result: ExperimentResult) -> None:
+    print(format_table(ExperimentResult.row_headers(), [result.as_row()]))
+    print(f"engine steps: {result.engine_steps} "
+          f"(data {result.data_steps}, punctuation {result.punct_steps}); "
+          f"ETS injected: {result.ets_injected}; "
+          f"CPU utilization: {result.cpu_utilization:.3%}")
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        scenario=args.name, duration=args.duration, seed=args.seed,
+        rate_fast=args.rate_fast, rate_slow=args.rate_slow,
+        heartbeat_rate=args.heartbeat_rate, strict_iwp=args.strict)
+    if args.join:
+        result = run_join_experiment(config)
+    else:
+        result = run_union_experiment(config)
+    _print_result(result)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    rates = tuple(float(r) for r in args.rates.split(",") if r)
+    sweep = run_sweep(duration=args.duration,
+                      sweep_duration=args.sweep_duration,
+                      seed=args.seed, heartbeat_rates=rates)
+    if args.number == 7:
+        print(format_figure7(sweep))
+    else:
+        print(format_figure8(sweep))
+    return 0
+
+
+def _cmd_idle(args: argparse.Namespace) -> int:
+    results = idle_waiting_table(duration=args.duration, seed=args.seed,
+                                 heartbeat_rate=args.heartbeat_rate)
+    print(format_idle_table(results))
+    return 0
+
+
+def _parse_source_spec(spec: str) -> tuple[str, str, float]:
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise ReproError(
+            f"bad --source spec {spec!r}; expected NAME:KIND:RATE")
+    name, kind, rate = parts
+    if kind not in ("poisson", "constant"):
+        raise ReproError(
+            f"bad --source kind {kind!r}; expected poisson or constant")
+    return name, kind, float(rate)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .metrics.profile import format_profile, profile_simulation
+    from .workloads.scenarios import build_union_scenario
+
+    config = ScenarioConfig(
+        scenario=args.name, duration=args.duration, seed=args.seed,
+        rate_fast=args.rate_fast, rate_slow=args.rate_slow,
+        heartbeat_rate=args.heartbeat_rate)
+    handles = build_union_scenario(config).run()
+    print(format_profile(
+        profile_simulation(handles.sim),
+        title=f"operator profile — scenario {args.name}, "
+              f"{args.duration:g}s simulated"))
+    print(f"union idle-waiting: "
+          f"{handles.sim.idle_fraction('union'):.2%}; "
+          f"peak queue {handles.sim.peak_queue_size} tuples")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    with open(args.program) as f:
+        compiled = compile_query(f.read(), name=args.program)
+    print(compiled.graph.to_dot())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .experiments.validation import format_claims, run_validation
+
+    rates = tuple(float(r) for r in args.rates.split(",") if r)
+    results = run_validation(duration=args.duration,
+                             sweep_duration=args.sweep_duration,
+                             seed=args.seed, heartbeat_rates=rates)
+    print(format_claims(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.program) as f:
+        text = f.read()
+    compiled = compile_query(text, name=args.program)
+
+    heartbeats = {}
+    for spec in args.heartbeat:
+        name, _, rate = spec.partition(":")
+        heartbeats[name] = float(rate)
+    sim = Simulation(
+        compiled.graph,
+        ets_policy=OnDemandEts() if args.ets == "on-demand" else NoEts(),
+        periodic=PeriodicEtsSchedule(heartbeats) if heartbeats else None,
+    )
+
+    seed = args.seed
+    for spec in args.source:
+        name, kind, rate = _parse_source_spec(spec)
+        if name not in compiled.sources:
+            raise ReproError(
+                f"--source {name!r}: program declares no such stream "
+                f"(has {sorted(compiled.sources)})")
+        payloads = uniform_value_payloads(random.Random(seed + 1))
+        if kind == "poisson":
+            arrivals = poisson_arrivals(rate, random.Random(seed),
+                                        payloads=payloads)
+        else:
+            arrivals = constant_arrivals(rate, payloads=payloads)
+        sim.attach_arrivals(compiled.sources[name], arrivals)
+        seed += 2
+
+    sim.run(until=args.until)
+
+    rows = [[name, sink.delivered,
+             sink.mean_latency * 1e3, sink.punctuation_eliminated]
+            for name, sink in compiled.sinks.items()]
+    print(format_table(
+        ["sink", "delivered", "mean latency (ms)", "punctuation absorbed"],
+        rows, title=f"{args.program} after {args.until:g} simulated seconds"))
+    print(f"peak total queue size: {sim.peak_queue_size}; "
+          f"ETS injected: {sim.engine.stats.ets_injected}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "scenario": _cmd_scenario,
+        "figure": _cmd_figure,
+        "idle": _cmd_idle,
+        "profile": _cmd_profile,
+        "dot": _cmd_dot,
+        "validate": _cmd_validate,
+        "run": _cmd_run,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

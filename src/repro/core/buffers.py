@@ -1,0 +1,258 @@
+"""Stream buffers (query-graph arcs) and Time-Stamp Memory registers.
+
+A directed arc from operator ``Q_i`` to ``Q_j`` in the query graph is a FIFO
+buffer: ``Q_i`` appends tuples at the tail (*production*) and ``Q_j`` removes
+them from the front (*consumption*).  Buffers also host the consumer-side
+**TSM register** introduced by the paper (Section 4.1): the register holds the
+timestamp of the most recent element seen at that input and keeps its value
+while the buffer is empty, which is what allows a punctuation to keep
+unblocking data tuples waiting on the *other* inputs of an IWP operator.
+
+All buffers register with a :class:`BufferRegistry` that maintains the global
+live-tuple count and its running peak, making the paper's "peak total queue
+size" metric (Figure 8) O(1) per enqueue/dequeue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from .errors import TimestampError
+from .tuples import LATENT_TS, StreamElement
+
+__all__ = ["TSMRegister", "BufferRegistry", "StreamBuffer"]
+
+
+class TSMRegister:
+    """Time-Stamp Memory register for one IWP-operator input (paper Fig. 5).
+
+    The register value is automatically updated with the timestamp of the
+    current (head) input element and *remains* until the next element updates
+    it.  An unset register reports :data:`LATENT_TS` so that an input that has
+    never produced anything does not gate ``min`` computations upward.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = LATENT_TS
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def is_set(self) -> bool:
+        return self._value != LATENT_TS
+
+    def update(self, ts: float) -> None:
+        """Record that an element with timestamp ``ts`` is/was at this input.
+
+        Latent (unstamped) elements do not move the register.
+        """
+        if ts == LATENT_TS:
+            return
+        if ts > self._value:
+            self._value = ts
+
+    def reset(self) -> None:
+        self._value = LATENT_TS
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TSMRegister({self._value!r})"
+
+
+class BufferRegistry:
+    """Tracks aggregate occupancy across every buffer of a query graph.
+
+    The paper's memory metric is "peak total buffer size, in terms of total
+    number of tuples in the buffers" — this registry maintains exactly that,
+    incrementally.  It can also invoke an observer on every change so that
+    metrics collectors can record occupancy-over-time series.
+    """
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._peak = 0
+        self._observer: Callable[[int], None] | None = None
+
+    @property
+    def total(self) -> int:
+        """Current total number of elements across all registered buffers."""
+        return self._total
+
+    @property
+    def peak(self) -> int:
+        """Largest total ever observed."""
+        return self._peak
+
+    def set_observer(self, observer: Callable[[int], None] | None) -> None:
+        """Install a callback invoked with the new total after every change."""
+        self._observer = observer
+
+    def reset_peak(self) -> None:
+        """Restart peak tracking from the current total (e.g. after warm-up)."""
+        self._peak = self._total
+
+    def _delta(self, amount: int) -> None:
+        self._total += amount
+        if self._total > self._peak:
+            self._peak = self._total
+        if self._observer is not None:
+            self._observer(self._total)
+
+
+class StreamBuffer:
+    """A FIFO arc of the query graph, with TSM register and statistics.
+
+    Attributes:
+        name: Human-readable identifier, usually ``producer->consumer``.
+        register: The consumer-side TSM register for this input.
+    """
+
+    def __init__(self, name: str = "", registry: BufferRegistry | None = None,
+                 *, enforce_order: bool = True) -> None:
+        """Create an empty buffer.
+
+        Args:
+            name: Identifier used in errors and debug output.
+            registry: Aggregate-occupancy registry; optional for unit tests.
+            enforce_order: When True (the default), pushing an element whose
+                timestamp is smaller than the last pushed element's raises
+                :class:`TimestampError`.  The engine relies on the
+                streams-are-ordered property throughout (paper Section 1),
+                so violations are bugs and surface loudly.
+        """
+        self.name = name
+        self.register = TSMRegister()
+        self._items: deque[StreamElement] = deque()
+        self._registry = registry
+        self._enforce_order = enforce_order
+        self._last_pushed_ts = LATENT_TS
+        self._enqueued = 0
+        self._dequeued = 0
+        self._punctuation_enqueued = 0
+        self._data_live = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[StreamElement]:
+        return iter(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def enqueued_count(self) -> int:
+        """Total elements ever pushed."""
+        return self._enqueued
+
+    @property
+    def dequeued_count(self) -> int:
+        """Total elements ever popped."""
+        return self._dequeued
+
+    @property
+    def punctuation_count(self) -> int:
+        """Total punctuation elements ever pushed (overhead accounting)."""
+        return self._punctuation_enqueued
+
+    @property
+    def data_count(self) -> int:
+        """Number of *data* tuples currently buffered (excludes punctuation)."""
+        return self._data_live
+
+    @property
+    def last_pushed_ts(self) -> float:
+        """Timestamp of the most recently pushed element (or LATENT_TS)."""
+        return self._last_pushed_ts
+
+    # ------------------------------------------------------------------ #
+    # Production / consumption
+
+    def push(self, element: StreamElement) -> None:
+        """Append ``element`` at the tail (production)."""
+        ts = element.ts
+        if ts != LATENT_TS:
+            if self._enforce_order and self._last_pushed_ts != LATENT_TS \
+                    and ts < self._last_pushed_ts:
+                raise TimestampError(
+                    f"buffer {self.name!r}: out-of-order push "
+                    f"({ts} after {self._last_pushed_ts})"
+                )
+            if ts > self._last_pushed_ts:
+                self._last_pushed_ts = ts
+        self._items.append(element)
+        self._enqueued += 1
+        if element.is_punctuation:
+            self._punctuation_enqueued += 1
+        else:
+            self._data_live += 1
+        if self._registry is not None:
+            self._registry._delta(1)
+
+    def peek(self) -> StreamElement | None:
+        """Return the head element without removing it, or None when empty.
+
+        Peeking refreshes the TSM register from the head element, matching
+        the paper's "automatically updated with the timestamp value of the
+        current input tuple".
+        """
+        if not self._items:
+            return None
+        head = self._items[0]
+        self.register.update(head.ts)
+        return head
+
+    def pop(self) -> StreamElement:
+        """Remove and return the head element (consumption)."""
+        if not self._items:
+            raise IndexError(f"pop from empty buffer {self.name!r}")
+        head = self._items.popleft()
+        self.register.update(head.ts)
+        self._dequeued += 1
+        if not head.is_punctuation:
+            self._data_live -= 1
+        if self._registry is not None:
+            self._registry._delta(-1)
+        return head
+
+    def clear(self) -> None:
+        """Discard all buffered elements (registry count is kept consistent)."""
+        if self._registry is not None and self._items:
+            self._registry._delta(-len(self._items))
+        self._items.clear()
+        self._data_live = 0
+
+    # ------------------------------------------------------------------ #
+    # Timestamp gating helpers
+
+    def head_ts(self) -> float | None:
+        """Timestamp of the head element, or None when empty."""
+        if not self._items:
+            return None
+        return self._items[0].ts
+
+    def gate_ts(self) -> float:
+        """The timestamp this input contributes to the operator's τ.
+
+        Per the relaxed ``more`` condition, an input contributes its head
+        element's timestamp when nonempty (refreshing the register), and its
+        remembered register value when empty.
+        """
+        head = self.peek()
+        if head is not None and head.ts != LATENT_TS:
+            return head.ts
+        return self.register.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StreamBuffer({self.name!r}, len={len(self._items)})"

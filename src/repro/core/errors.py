@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro DSMS.
+
+Every error raised by the library derives from :class:`ReproError`, so client
+code can catch a single base class.  Sub-classes are grouped by the subsystem
+that raises them (schemas, graphs, execution, timestamps) to keep diagnostics
+precise without forcing callers to import many names.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro DSMS library."""
+
+
+class SchemaError(ReproError):
+    """A record does not conform to the stream schema, or a schema is invalid."""
+
+
+class TimestampError(ReproError):
+    """A timestamp rule was violated (e.g. out-of-order data on an ordered stream)."""
+
+
+class GraphError(ReproError):
+    """A query graph is structurally invalid (cycles, dangling ports, rewiring)."""
+
+
+class ExecutionError(ReproError):
+    """The execution engine reached an inconsistent state."""
+
+
+class PolicyError(ReproError):
+    """An ETS policy was configured or used incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A workload/arrival-process specification is invalid."""
+
+
+class QueryLanguageError(ReproError):
+    """The mini continuous-query language failed to parse or compile."""

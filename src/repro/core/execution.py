@@ -1,0 +1,273 @@
+"""The query-graph execution engine (paper Sections 3–4).
+
+The engine implements the two-step cycle of paper Fig. 3 — *execute the
+current operator, then select the next operator* — with the depth-first
+Next-Operator-Selection (NOS) rules:
+
+* **Forward**: if ``yield`` (the operator's output buffer holds tuples),
+  the next operator is the successor consuming that buffer;
+* **Encore**: else if ``more`` (processable input remains), re-execute the
+  same operator;
+* **Backtrack**: else move to the predecessor — for multi-input operators,
+  to ``pred_j`` where *j* is the input whose emptiness gates progress — and
+  repeat the NOS step there *without* executing.
+
+When backtracking reaches a source node whose buffer is empty, the engine
+consults its :class:`~repro.core.ets.EtsPolicy`.  Under
+:class:`~repro.core.ets.OnDemandEts` the source injects a punctuation
+carrying a fresh ETS, and the very next Forward step carries it down the
+path that was just backtracked — this integration of timestamp management
+with the execution model is the paper's core contribution.
+
+The engine is also the simulation's CPU: every step charges simulated time
+through the :class:`~repro.sim.cost.CostModel`, and a ``deliver_due`` hook
+lets the kernel feed arrivals that became due while the engine was busy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import ExecutionError
+from .ets import EtsPolicy, NoEts
+from .graph import QueryGraph
+from .operators.base import OpContext, Operator, StepResult
+from .operators.source import SourceNode
+
+__all__ = ["EngineStats", "ExecutionEngine"]
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """Counters describing everything the engine has done so far.
+
+    Attributes:
+        rounds: Wake-up rounds executed.
+        steps: Operator execution steps performed.
+        data_steps / punct_steps: Steps that consumed a data tuple vs a
+            punctuation tuple.
+        probes: Window tuples examined across all joins.
+        ets_offers: Times a stalled source consulted the ETS policy.
+        ets_injected: Times the policy actually injected a punctuation.
+        busy_time: Simulated CPU seconds consumed by operator steps.
+    """
+
+    rounds: int = 0
+    steps: int = 0
+    data_steps: int = 0
+    punct_steps: int = 0
+    probes: int = 0
+    ets_offers: int = 0
+    ets_injected: int = 0
+    busy_time: float = 0.0
+    emitted_data: int = 0
+    emitted_punctuation: int = 0
+    per_operator_steps: dict[str, int] = field(default_factory=dict)
+
+
+class ExecutionEngine:
+    """Single-threaded DFS executor for one query graph.
+
+    Args:
+        graph: A validated (or validatable) :class:`QueryGraph`.
+        clock: The virtual clock; advanced by the cost model per step.
+        cost_model: CPU pricing; None means free (purely logical execution).
+        ets_policy: What stalled sources do (scenarios A/B use
+            :class:`NoEts`; scenario C uses :class:`OnDemandEts`).
+        idle_tracker: Optional :class:`~repro.metrics.idle.IdleTracker`
+            refreshed at every state change the engine causes.
+        deliver_due: Kernel hook invoked with the current time between steps
+            so arrivals that became due while the engine was busy enter
+            their buffers at the right moment.
+        offer_ets_always: When False (default), the ETS policy is consulted
+            only while some IWP operator is idle-waiting on pending *data* —
+            ETS exists to reactivate idle-waiting operators, and generating
+            one with nothing to unblock is pure overhead.  Set True for the
+            fidelity ablation where every dead-ended backtrack offers.
+        max_steps_per_round: Safety valve for logical-mode loops; None means
+            unbounded (the cost model plus event horizon bound real runs).
+    """
+
+    def __init__(self, graph: QueryGraph, clock, *, cost_model=None,
+                 ets_policy: EtsPolicy | None = None,
+                 idle_tracker=None,
+                 deliver_due: Callable[[float], None] | None = None,
+                 offer_ets_always: bool = False,
+                 max_steps_per_round: int | None = None) -> None:
+        if not graph.is_validated:
+            graph.validate()
+        self.graph = graph
+        self.clock = clock
+        self.cost_model = cost_model
+        self.ets_policy = ets_policy if ets_policy is not None else NoEts()
+        self.idle_tracker = idle_tracker
+        self.deliver_due = deliver_due
+        self.offer_ets_always = offer_ets_always
+        self.max_steps_per_round = max_steps_per_round
+        self.stats = EngineStats()
+        self.ctx = OpContext(clock=clock)
+        self._round_id = 0
+        self._iwp_ops = graph.iwp_operators()
+        self._executable = [op for op in graph.operators
+                            if not isinstance(op, SourceNode)]
+
+    # ------------------------------------------------------------------ #
+    # Public API
+
+    @property
+    def round_id(self) -> int:
+        return self._round_id
+
+    def wakeup(self, entry: SourceNode | Operator | None = None) -> None:
+        """Run the engine to quiescence.
+
+        Args:
+            entry: Optional hint — the source (or operator) where new input
+                just appeared; the DFS starts there.  Work elsewhere in the
+                graph is found by scanning once the entry path quiesces.
+        """
+        self._round_id += 1
+        self.stats.rounds += 1
+        if self.cost_model is not None:
+            self.clock.advance(self.cost_model.scheduling_overhead)
+        self._refresh_idle()
+        steps_before = self.stats.steps
+
+        if entry is not None:
+            self._walk(entry)
+        while True:
+            self._pump_due()
+            progressed = False
+            for op in self._executable:
+                if op.more():
+                    progressed = self._walk(op) or progressed
+            if not progressed:
+                # No operator can execute; give idle-waiting IWP operators a
+                # chance to trigger on-demand ETS through backtracking.
+                for op in self._iwp_ops:
+                    if op.has_pending_data() and not op.more():
+                        progressed = self._walk(op) or progressed
+            if not progressed:
+                break
+            if (self.max_steps_per_round is not None
+                    and self.stats.steps - steps_before
+                    >= self.max_steps_per_round):
+                raise ExecutionError(
+                    f"engine exceeded {self.max_steps_per_round} steps in one "
+                    "round; livelock or undersized budget"
+                )
+        self._refresh_idle()
+
+    def run_to_quiescence(self) -> None:
+        """Alias for ``wakeup()`` with no entry hint (useful in tests)."""
+        self.wakeup()
+
+    # ------------------------------------------------------------------ #
+    # DFS walk implementing the NOS rules
+
+    def _walk(self, start: Operator) -> bool:
+        """Run the Execute/Continue cycle from ``start`` until a dead end.
+
+        Returns True when any step executed or any ETS was injected.
+        """
+        progress = False
+        current = start
+        execute = True  # False right after Backtrack ("repeat the NOS step")
+        while True:
+            self._pump_due()
+            if isinstance(current, SourceNode):
+                nxt = self._forward_target(current)
+                if nxt is not None:
+                    current, execute = nxt, True
+                    continue
+                if self._try_ets(current):
+                    progress = True
+                    continue  # the injected punctuation enables Forward
+                return progress
+
+            # [Execution Step]
+            if execute and current.more():
+                self._step(current)
+                progress = True
+
+            # [Continuation Step] — NOS rules
+            nxt = self._forward_target(current)
+            if nxt is not None:  # Forward
+                current, execute = nxt, True
+                continue
+            if current.more():  # Encore
+                execute = True
+                continue
+            # Backtrack: to the predecessor feeding the gating input.
+            if not current.inputs:
+                return progress
+            j = current.stalled_input_index()
+            pred = current.predecessors[j]
+            if pred is None:
+                return progress
+            current, execute = pred, False
+
+    @staticmethod
+    def _forward_target(op: Operator) -> Operator | None:
+        """Forward rule: the successor consuming a nonempty output buffer."""
+        for buf, succ in zip(op.outputs, op.successors):
+            if buf and succ is not None:
+                return succ
+        return None
+
+    def _step(self, op: Operator) -> StepResult:
+        result = op.execute_step(self.ctx)
+        stats = self.stats
+        stats.steps += 1
+        if result.consumed_punctuation:
+            stats.punct_steps += 1
+        elif result.consumed is not None:
+            stats.data_steps += 1
+        stats.probes += result.probes
+        stats.emitted_data += result.emitted_data
+        stats.emitted_punctuation += result.emitted_punctuation
+        per_op = stats.per_operator_steps
+        per_op[op.name] = per_op.get(op.name, 0) + 1
+        if self.cost_model is not None:
+            cost = self.cost_model.step_cost(op, result)
+            if cost:
+                self.clock.advance(cost)
+                stats.busy_time += cost
+        self._refresh_idle()
+        return result
+
+    # ------------------------------------------------------------------ #
+    # ETS integration (the Backtrack-to-source hook)
+
+    def _try_ets(self, source: SourceNode) -> bool:
+        if not self.offer_ets_always and not self._ets_needed():
+            return False
+        self.stats.ets_offers += 1
+        injected = self.ets_policy.on_source_stalled(
+            source, self.clock.now(), self._round_id)
+        if injected:
+            self.stats.ets_injected += 1
+            if self.cost_model is not None:
+                cost = self.cost_model.ets_generation
+                if cost:
+                    self.clock.advance(cost)
+                    self.stats.busy_time += cost
+            self._refresh_idle()
+        return injected
+
+    def _ets_needed(self) -> bool:
+        """Is any IWP operator idle-waiting on pending data right now?"""
+        return any(op.has_pending_data() and not op.more()
+                   for op in self._iwp_ops)
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping hooks
+
+    def _pump_due(self) -> None:
+        if self.deliver_due is not None:
+            self.deliver_due(self.clock.now())
+
+    def _refresh_idle(self) -> None:
+        if self.idle_tracker is not None:
+            self.idle_tracker.refresh(self.clock.now())

@@ -1,0 +1,52 @@
+"""Query operators: sources, sinks, stateless transforms, and IWP operators."""
+
+from .aggregate import (
+    AggSpec,
+    Aggregator,
+    Avg,
+    Count,
+    Max,
+    Min,
+    SlidingAggregate,
+    Sum,
+    TumblingAggregate,
+)
+from .base import Clock, OpContext, Operator, StepResult
+from .join import WindowJoin, merge_payloads
+from .map import FlatMap, Map
+from .project import Project
+from .reorder import Reorder
+from .select import Select
+from .shed import Shed
+from .sink import SinkNode
+from .source import SourceNode
+from .stateless import StatelessOperator
+from .union import Union
+
+__all__ = [
+    "AggSpec",
+    "Aggregator",
+    "Avg",
+    "Clock",
+    "Count",
+    "FlatMap",
+    "Map",
+    "Max",
+    "Min",
+    "OpContext",
+    "Operator",
+    "Project",
+    "Reorder",
+    "Select",
+    "Shed",
+    "SinkNode",
+    "SlidingAggregate",
+    "SourceNode",
+    "StatelessOperator",
+    "StepResult",
+    "Sum",
+    "TumblingAggregate",
+    "Union",
+    "WindowJoin",
+    "merge_payloads",
+]

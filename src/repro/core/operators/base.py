@@ -1,0 +1,206 @@
+"""Operator base classes and the execution-step contract.
+
+An operator is a node of the query graph.  Arcs are :class:`StreamBuffer`
+instances; the operator at the tail *produces* into the buffer and the
+operator at the head *consumes* from it.  The execution engine drives
+operators through a narrow contract:
+
+* :meth:`Operator.more` — the paper's ``more`` condition: does the operator
+  have input it is allowed to process right now?  IWP operators implement the
+  relaxed TSM-register condition of paper Fig. 5.
+* :meth:`Operator.has_yield` — the paper's ``yield`` condition: is there
+  anything in the operator's output buffers for a successor to consume?
+* :meth:`Operator.execute_step` — perform one production/consumption step
+  (paper Figs. 1 and 6) and report what was done so the engine can charge
+  simulated CPU cost.
+* :meth:`Operator.stalled_input_index` — when ``more`` is false, which input
+  gates progress; the engine backtracks to that input's producer (the
+  modified Backtrack rule of Section 3.2).
+
+Operators never touch the clock or the cost model directly; everything they
+need arrives through the :class:`OpContext` the engine passes in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol
+
+from ..buffers import StreamBuffer
+from ..errors import GraphError
+from ..tuples import Punctuation, StreamElement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..schema import Schema
+
+__all__ = ["Clock", "OpContext", "StepResult", "Operator"]
+
+
+class Clock(Protocol):
+    """Anything with a ``now()`` returning the current stream time."""
+
+    def now(self) -> float: ...
+
+
+@dataclass(slots=True)
+class OpContext:
+    """Per-step context handed to operators by the engine.
+
+    Attributes:
+        clock: Source of "now" for latent stamping and window bookkeeping.
+    """
+
+    clock: Clock
+
+
+@dataclass(slots=True)
+class StepResult:
+    """What one execution step did; the engine turns this into CPU cost.
+
+    Attributes:
+        consumed: The element removed from an input buffer, or None when the
+            step was a pure production (e.g. an aggregate flushing a window).
+        probes: Number of window tuples examined (join probe cost).
+        emitted_data: Data tuples appended to output buffers.
+        emitted_punctuation: Punctuation tuples appended to output buffers.
+    """
+
+    consumed: StreamElement | None = None
+    probes: int = 0
+    emitted_data: int = 0
+    emitted_punctuation: int = 0
+
+    @property
+    def consumed_punctuation(self) -> bool:
+        return self.consumed is not None and self.consumed.is_punctuation
+
+
+@dataclass(slots=True)
+class _Ports:
+    inputs: list[StreamBuffer] = field(default_factory=list)
+    outputs: list[StreamBuffer] = field(default_factory=list)
+
+
+class Operator:
+    """Base class for all query-graph nodes.
+
+    Sub-classes set :attr:`is_iwp` when they are Idle-Waiting Prone (union,
+    join) and :attr:`arity` when they require a fixed number of inputs.
+
+    Attributes:
+        name: Unique name within the owning query graph.
+        cost_class: Key into the simulation cost model; defaults to the
+            lower-cased class name so each operator type can be priced
+            individually.
+    """
+
+    #: True for operators that can idle-wait on timestamp skew (union, join).
+    is_iwp: bool = False
+    #: Required number of inputs; None means "one or more".
+    arity: int | None = 1
+
+    def __init__(self, name: str, *, output_schema: "Schema | None" = None) -> None:
+        self.name = name
+        self.output_schema = output_schema
+        self._ports = _Ports()
+        self.cost_class = type(self).__name__.lower()
+        #: Producer operator per input index; wired by the query graph.
+        self.predecessors: list["Operator | None"] = []
+        #: Consumer operator per output index; wired by the query graph.
+        self.successors: list["Operator | None"] = []
+
+    # ------------------------------------------------------------------ #
+    # Wiring (used by QueryGraph)
+
+    @property
+    def inputs(self) -> list[StreamBuffer]:
+        return self._ports.inputs
+
+    @property
+    def outputs(self) -> list[StreamBuffer]:
+        return self._ports.outputs
+
+    def attach_input(self, buffer: StreamBuffer, producer: "Operator | None") -> None:
+        if self.arity is not None and len(self._ports.inputs) >= self.arity:
+            raise GraphError(
+                f"operator {self.name!r} accepts {self.arity} input(s); "
+                "attempted to attach more"
+            )
+        self._ports.inputs.append(buffer)
+        self.predecessors.append(producer)
+
+    def attach_output(self, buffer: StreamBuffer, consumer: "Operator | None") -> None:
+        self._ports.outputs.append(buffer)
+        self.successors.append(consumer)
+
+    def validate_wiring(self) -> None:
+        """Raise :class:`GraphError` unless the operator is fully wired."""
+        if self.arity is not None and len(self._ports.inputs) != self.arity:
+            raise GraphError(
+                f"operator {self.name!r} needs {self.arity} input(s), "
+                f"has {len(self._ports.inputs)}"
+            )
+        if self.arity is None and not self._ports.inputs:
+            raise GraphError(f"operator {self.name!r} needs at least one input")
+
+    # ------------------------------------------------------------------ #
+    # NOS conditions
+
+    def more(self) -> bool:
+        """The ``more`` condition: is there processable input right now?
+
+        The default suits single-input operators: any buffered element is
+        processable.  IWP operators override this with the relaxed
+        TSM-register condition.
+        """
+        return any(buf for buf in self._ports.inputs)
+
+    def has_yield(self) -> bool:
+        """The ``yield`` condition: do the output buffers hold anything?"""
+        return any(buf for buf in self._ports.outputs)
+
+    def stalled_input_index(self) -> int:
+        """Index of the input that gates progress when ``more`` is false.
+
+        Single-input operators stall only on their sole input.
+        """
+        return 0
+
+    def has_pending_input(self) -> bool:
+        """True when any input buffer is nonempty (used for idle accounting)."""
+        return any(buf for buf in self._ports.inputs)
+
+    def has_pending_data(self) -> bool:
+        """True when any input buffer holds a *data* tuple.
+
+        Idle-waiting is measured (and on-demand ETS is justified) in terms of
+        data tuples stuck behind the timestamp gate; punctuation sitting in a
+        buffer is bookkeeping, not user-visible delay.
+        """
+        return any(buf.data_count for buf in self._ports.inputs)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+
+    def execute_step(self, ctx: OpContext) -> StepResult:
+        """Perform one production/consumption step.
+
+        Only called when :meth:`more` is true.  Must consume at most one
+        input element and may emit any number of output elements.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Emission helpers
+
+    def emit(self, element: StreamElement) -> None:
+        """Append ``element`` to every output buffer (replicating fan-out)."""
+        for buf in self._ports.outputs:
+            buf.push(element)
+
+    def emit_punctuation(self, punctuation: Punctuation) -> None:
+        """Propagate a punctuation downstream, re-attributed to this operator."""
+        self.emit(punctuation.reformatted(origin=self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"

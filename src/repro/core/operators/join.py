@@ -1,0 +1,299 @@
+"""Symmetric window join — the paper's second Idle-Waiting-Prone operator.
+
+Semantics follow Kang, Naughton and Viglas (ICDE 2003), as adopted by the
+paper (Fig. 1), extended with TSM registers and punctuation handling
+(Fig. 6):
+
+* With τ the minimum over the two input TSM registers, when input A holds a
+  **data** tuple stamped τ: join it against the window ``W(B)``, emit the
+  results stamped τ, then move the tuple into ``W(A)`` (expiring old tuples).
+  Symmetrically for B.
+* When the element stamped τ is a **punctuation**: consume it; if no data
+  tuple stamped τ remains on either input, emit a punctuation stamped τ so
+  ETS information keeps flowing to IWP operators down the path.
+* Punctuation also advances window expiry, which is one of the ways ETS
+  reduces memory usage.
+
+Latent tuples are stamped with the clock on arrival at the join ("individual
+query operators that require timestamps", paper Section 5), after which they
+behave as internal-timestamped data.
+
+Asymmetric joins are supported by passing a window spec for only one side;
+multi-way joins are built as cascades of binary joins by
+:func:`repro.core.graph.chain_joins`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, Callable
+
+from ..errors import ExecutionError
+from ..tuples import LATENT_TS, DataTuple, Punctuation
+from ..windows import CountWindow, TimeWindow, WindowSpec
+from .base import Operator, OpContext, StepResult
+
+__all__ = ["WindowJoin", "merge_payloads"]
+
+
+def merge_payloads(left: Any, right: Any,
+                   left_prefix: str = "l_", right_prefix: str = "r_") -> dict:
+    """Default join combiner: merge two mapping payloads into one record.
+
+    Non-colliding keys are kept as-is.  A colliding key whose two values are
+    equal (the equi-join key itself, typically) is kept once, unprefixed;
+    genuinely conflicting values are disambiguated with the given prefixes.
+    Non-mapping payloads are wrapped under the prefixes.
+    """
+    if not isinstance(left, Mapping):
+        left = {left_prefix.rstrip("_") or "left": left}
+    if not isinstance(right, Mapping):
+        right = {right_prefix.rstrip("_") or "right": right}
+    merged = dict(left)
+    for key, value in right.items():
+        if key in merged and merged[key] != value:
+            merged[f"{left_prefix}{key}"] = merged.pop(key)
+            merged[f"{right_prefix}{key}"] = value
+        else:
+            merged[key] = value
+    return merged
+
+
+class _EmptyWindow:
+    """Window stub for the unstored side of an asymmetric join."""
+
+    span = 0.0
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def insert(self, tup: DataTuple) -> None:
+        pass
+
+    def expire(self, now: float) -> int:
+        return 0
+
+    def matches(self, probe_ts: float):
+        return iter(())
+
+
+class WindowJoin(Operator):
+    """Binary symmetric (or asymmetric) window join over timestamped streams.
+
+    Args:
+        name: Node name.
+        window: Window spec applied to both sides (symmetric join).
+        predicate: ``predicate(left_payload, right_payload) -> bool``; when
+            None, every window pair matches (cross product within windows).
+        key: Convenience equi-join: a field name (or per-side pair of field
+            names) compared for equality; composed with ``predicate`` if both
+            are given.
+        window_left / window_right: Per-side specs overriding ``window``;
+            pass None (with the other set) for an asymmetric join.
+        combiner: Builds the output payload from the two matching payloads
+            (left payload first, regardless of which side probed).
+        strict: Use the original Fig.-1 gating (both inputs nonempty) instead
+            of the relaxed TSM condition — for the X1 ablation.
+    """
+
+    is_iwp = True
+    arity = 2
+
+    def __init__(self, name: str, window: WindowSpec | None = None, *,
+                 predicate: Callable[[Any, Any], bool] | None = None,
+                 key: str | tuple[str, str] | None = None,
+                 window_left: WindowSpec | None = None,
+                 window_right: WindowSpec | None = None,
+                 combiner: Callable[[Any, Any], Any] = merge_payloads,
+                 strict: bool = False,
+                 output_schema=None) -> None:
+        super().__init__(name, output_schema=output_schema)
+        if window is None and window_left is None and window_right is None:
+            raise ExecutionError(
+                f"join {name!r}: at least one side needs a window spec"
+            )
+        left_spec = window_left if window_left is not None else window
+        right_spec = window_right if window_right is not None else window
+        self.windows: list[TimeWindow | CountWindow | _EmptyWindow] = [
+            left_spec.build() if left_spec is not None else _EmptyWindow(),
+            right_spec.build() if right_spec is not None else _EmptyWindow(),
+        ]
+        self.predicate = predicate
+        if key is not None:
+            left_key, right_key = (key, key) if isinstance(key, str) else key
+            base = predicate
+
+            def key_predicate(lp: Any, rp: Any) -> bool:
+                if lp[left_key] != rp[right_key]:
+                    return False
+                return base(lp, rp) if base is not None else True
+
+            self.predicate = key_predicate
+        self.combiner = combiner
+        self.strict = strict
+        self._last_emitted_ts = LATENT_TS
+        self.matches_emitted = 0
+        self.punctuation_consumed = 0
+        self.punctuation_forwarded = 0
+        self.punctuation_suppressed = 0
+        self.tuples_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Gating (relaxed more condition of paper Fig. 5)
+
+    def _gates(self) -> list[float]:
+        return [buf.gate_ts() for buf in self.inputs]
+
+    def _latent_ready_index(self) -> int | None:
+        for i, buf in enumerate(self.inputs):
+            head = buf.peek()
+            if head is not None and head.is_latent:
+                return i
+        return None
+
+    def more(self) -> bool:
+        if self._latent_ready_index() is not None:
+            return True
+        if self.strict:
+            return all(buf for buf in self.inputs)
+        gates = self._gates()
+        tau = min(gates)
+        if tau == LATENT_TS:
+            return False
+        return any(buf.head_ts() == tau for buf in self.inputs)
+
+    def stalled_input_index(self) -> int:
+        if self.strict:
+            for i, buf in enumerate(self.inputs):
+                if buf.is_empty:
+                    return i
+            return 0
+        gates = self._gates()
+        tau = min(gates)
+        for i, buf in enumerate(self.inputs):
+            if buf.is_empty and gates[i] == tau:
+                return i
+        return min(range(len(gates)), key=gates.__getitem__)
+
+    @property
+    def window_size_total(self) -> int:
+        """Total tuples currently stored across both window buffers."""
+        return len(self.windows[0]) + len(self.windows[1])
+
+    # ------------------------------------------------------------------ #
+    # Execution (paper Fig. 6)
+
+    def _select_index(self) -> int:
+        latent_idx = self._latent_ready_index()
+        if latent_idx is not None:
+            return latent_idx
+        if self.strict:
+            heads = [(buf.head_ts(), i) for i, buf in enumerate(self.inputs)]
+            return min(heads)[1]
+        gates = self._gates()
+        tau = min(gates)
+        punct_idx: int | None = None
+        for i, buf in enumerate(self.inputs):
+            head = buf.peek()
+            if head is None or head.ts != tau:
+                continue
+            if head.is_punctuation:
+                punct_idx = punct_idx if punct_idx is not None else i
+            else:
+                return i
+        if punct_idx is None:
+            raise ExecutionError(
+                f"join {self.name!r}: execute_step called without more()"
+            )
+        return punct_idx
+
+    def execute_step(self, ctx: OpContext) -> StepResult:
+        idx = self._select_index()
+        element = self.inputs[idx].pop()
+
+        if element.is_punctuation:
+            return self._handle_punctuation(element)
+
+        assert isinstance(element, DataTuple)
+        if element.is_latent:
+            element = element.stamped(ctx.clock.now())
+        return self._handle_data(idx, element)
+
+    def _handle_data(self, idx: int, tup: DataTuple) -> StepResult:
+        other = 1 - idx
+        own_window = self.windows[idx]
+        other_window = self.windows[other]
+        # Expire against the probing tuple's timestamp (Kang et al. order:
+        # probe happens against the still-valid window contents).
+        other_window.expire(tup.ts)
+        probes = 0
+        emitted = 0
+        for candidate in other_window.matches(tup.ts):
+            probes += 1
+            left_payload, right_payload = (
+                (tup.payload, candidate.payload) if idx == 0
+                else (candidate.payload, tup.payload)
+            )
+            if self.predicate is not None and not self.predicate(left_payload,
+                                                                 right_payload):
+                continue
+            out = DataTuple(ts=tup.ts,
+                            payload=self.combiner(left_payload, right_payload),
+                            kind=tup.kind,
+                            arrival_ts=latest_arrival(tup, candidate))
+            self.emit(out)
+            emitted += 1
+        own_window.expire(tup.ts)
+        own_window.insert(tup)
+        self.tuples_processed += 1
+        self.matches_emitted += emitted
+        if tup.ts > self._last_emitted_ts and emitted:
+            self._last_emitted_ts = tup.ts
+        emitted_punct = 0
+        if not emitted and not self.strict:
+            # "When we cannot generate a data tuple, we simply produce a
+            # punctuation tuple for the benefit of the IWP operators down the
+            # path" (paper Section 4.2).
+            tau = min(self._gates())
+            if tau > self._last_emitted_ts:
+                self.emit(Punctuation(ts=tau, origin=self.name))
+                self._last_emitted_ts = tau
+                self.punctuation_forwarded += 1
+                emitted_punct = 1
+        return StepResult(consumed=tup, probes=probes, emitted_data=emitted,
+                          emitted_punctuation=emitted_punct)
+
+    def _handle_punctuation(self, punct) -> StepResult:
+        self.punctuation_consumed += 1
+        # Punctuation advances time on its input: shrink both windows to the
+        # new safe horizon (memory benefit of ETS).
+        tau = punct.ts if self.strict else min(self._gates())
+        for window in self.windows:
+            window.expire(tau)
+        if tau > self._last_emitted_ts:
+            self.emit(Punctuation(ts=tau, origin=self.name,
+                                  periodic=getattr(punct, "periodic", False)))
+            self._last_emitted_ts = tau
+            self.punctuation_forwarded += 1
+            return StepResult(consumed=punct, emitted_punctuation=1)
+        self.punctuation_suppressed += 1
+        return StepResult(consumed=punct)
+
+
+def latest_arrival(a: DataTuple, b: DataTuple) -> float:
+    """Arrival stamp for a join result: the later of the two inputs'.
+
+    A join result becomes derivable only once its *second* contributing
+    tuple has entered the DSMS, so output latency — the idle-waiting delay
+    the paper measures — is counted from the later arrival.  NaN stamps
+    (never set) lose to real stamps.
+    """
+    fa, fb = a.arrival_ts, b.arrival_ts
+    if fa != fa:  # NaN
+        return fb
+    if fb != fb:
+        return fa
+    return fa if fa >= fb else fb

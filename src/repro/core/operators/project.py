@@ -1,0 +1,42 @@
+"""Projection operator: narrow each payload record to a subset of fields."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Iterable
+
+from ..errors import SchemaError
+from ..tuples import DataTuple
+from .base import OpContext
+from .stateless import StatelessOperator
+
+__all__ = ["Project"]
+
+
+class Project(StatelessOperator):
+    """Keep only the named payload fields of every data tuple.
+
+    Payloads must be mappings.  Missing fields raise :class:`SchemaError`
+    rather than silently emitting partial records — a projection that cannot
+    find its columns indicates a mis-wired query graph.
+    """
+
+    def __init__(self, name: str, fields: Iterable[str], *, output_schema=None) -> None:
+        super().__init__(name, output_schema=output_schema)
+        self.fields = tuple(fields)
+        if not self.fields:
+            raise SchemaError(f"projection {name!r} must keep at least one field")
+
+    def apply(self, tup: DataTuple, ctx: OpContext) -> list[DataTuple]:
+        payload = tup.payload
+        if not isinstance(payload, Mapping):
+            raise SchemaError(
+                f"projection {self.name!r}: payload must be a mapping, "
+                f"got {type(payload).__name__}"
+            )
+        missing = [f for f in self.fields if f not in payload]
+        if missing:
+            raise SchemaError(
+                f"projection {self.name!r}: payload missing fields {missing}"
+            )
+        return [tup.with_payload({f: payload[f] for f in self.fields})]

@@ -1,0 +1,122 @@
+"""Reorder: restore timestamp order over an out-of-order input.
+
+The engine's ordered-streams invariant (paper Section 1) is load-bearing:
+union and join gate on it.  Real externally timestamped feeds, however, can
+deliver tuples slightly out of order — the problem studied by Srivastava &
+Widom (PODS'04, the paper's reference [12]), whose skew-bound machinery the
+paper reuses for ETS values.  This operator closes the loop: place it
+between an out-of-order source and the IWP operators, and everything
+downstream sees an ordered stream again.
+
+Mechanics: arriving tuples park in a min-heap keyed by timestamp.  A tuple
+becomes *safe to emit* once the operator can prove nothing smaller can still
+arrive —
+
+* **slack rule**: the stream's disorder is bounded by ``slack`` seconds, so
+  everything with ``ts ≤ max_seen − slack`` is safe;
+* **punctuation rule**: a punctuation stamped ``p`` asserts no future
+  element below ``p``, so everything with ``ts ≤ p`` is safe (this is how
+  on-demand ETS drains the reorder buffer of a silent stream).
+
+Tuples arriving below the already-emitted watermark are *late*; they are
+counted and, by default, dropped (``late="drop"``), or the operator can
+raise (``late="error"``) for pipelines that must not lose data.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import ExecutionError, TimestampError
+from ..tuples import DataTuple, LATENT_TS, Punctuation
+from .base import Operator, OpContext, StepResult
+
+__all__ = ["Reorder"]
+
+
+class Reorder(Operator):
+    """Buffered sort with bounded slack (one input, one ordered output).
+
+    Args:
+        slack: Upper bound, in stream seconds, on how far behind the
+            largest seen timestamp a future tuple can arrive.
+        late: ``"drop"`` (count and discard) or ``"error"`` (raise
+            :class:`TimestampError`) for tuples below the emitted watermark.
+
+    Attributes:
+        late_dropped: Tuples discarded for arriving below the watermark.
+        pending: Number of tuples currently parked in the heap.
+    """
+
+    is_iwp = False
+    arity = 1
+
+    def __init__(self, name: str, slack: float, *, late: str = "drop",
+                 output_schema=None) -> None:
+        super().__init__(name, output_schema=output_schema)
+        if slack < 0:
+            raise ExecutionError(f"reorder {name!r}: slack must be >= 0")
+        if late not in ("drop", "error"):
+            raise ExecutionError(
+                f"reorder {name!r}: late must be 'drop' or 'error', "
+                f"got {late!r}"
+            )
+        self.slack = float(slack)
+        self.late_policy = late
+        self._heap: list[tuple[float, int, DataTuple]] = []
+        self._max_seen = LATENT_TS
+        self._emitted_watermark = LATENT_TS
+        self.late_dropped = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    # ------------------------------------------------------------------ #
+
+    def _flush_to(self, threshold: float) -> int:
+        """Emit every parked tuple with ts ≤ ``threshold``; returns count."""
+        emitted = 0
+        while self._heap and self._heap[0][0] <= threshold:
+            _, _, tup = heapq.heappop(self._heap)
+            self.emit(tup)
+            emitted += 1
+        if threshold > self._emitted_watermark:
+            self._emitted_watermark = threshold
+        return emitted
+
+    def execute_step(self, ctx: OpContext) -> StepResult:
+        element = self.inputs[0].pop()
+
+        if element.is_punctuation:
+            if element.ts < self._emitted_watermark:
+                # Stale punctuation: everything it could release is already
+                # out, and forwarding it would break output order.
+                return StepResult(consumed=element)
+            emitted = self._flush_to(element.ts)
+            self.emit_punctuation(element)
+            return StepResult(consumed=element, emitted_data=emitted,
+                              emitted_punctuation=1)
+
+        assert isinstance(element, DataTuple)
+        if element.is_latent:
+            # Latent streams carry no order to restore: pass through.
+            self.emit(element)
+            return StepResult(consumed=element, emitted_data=1)
+
+        if element.ts < self._emitted_watermark:
+            if self.late_policy == "error":
+                raise TimestampError(
+                    f"reorder {self.name!r}: tuple at {element.ts} arrived "
+                    f"after watermark {self._emitted_watermark} "
+                    f"(slack {self.slack} too small for this stream)"
+                )
+            self.late_dropped += 1
+            return StepResult(consumed=element)
+
+        heapq.heappush(self._heap, (element.ts, element.seq, element))
+        if element.ts > self._max_seen:
+            self._max_seen = element.ts
+        emitted = self._flush_to(self._max_seen - self.slack)
+        return StepResult(consumed=element, emitted_data=emitted,
+                          probes=len(self._heap))

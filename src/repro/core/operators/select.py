@@ -1,0 +1,48 @@
+"""Selection (filter) operator.
+
+The paper's experimental query (Fig. 4) filters each input stream through a
+selection with 95 % selectivity before the union; this operator is that
+filter.  Tuples failing the predicate are consumed and dropped; punctuation
+passes through (handled by :class:`StatelessOperator`), which is essential —
+a dropped tuple's timestamp information must still reach the union.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..tuples import DataTuple
+from .base import OpContext
+from .stateless import StatelessOperator
+
+__all__ = ["Select"]
+
+
+class Select(StatelessOperator):
+    """Emit only the tuples whose payload satisfies ``predicate``.
+
+    Attributes:
+        passed / dropped: Running selectivity statistics.
+    """
+
+    def __init__(self, name: str, predicate: Callable[[Any], bool],
+                 *, output_schema=None) -> None:
+        super().__init__(name, output_schema=output_schema)
+        self.predicate = predicate
+        self.passed = 0
+        self.dropped = 0
+
+    def apply(self, tup: DataTuple, ctx: OpContext) -> list[DataTuple]:
+        if self.predicate(tup.payload):
+            self.passed += 1
+            return [tup]
+        self.dropped += 1
+        return []
+
+    @property
+    def observed_selectivity(self) -> float:
+        """Fraction of data tuples that passed (nan before any input)."""
+        total = self.passed + self.dropped
+        if not total:
+            return float("nan")
+        return self.passed / total

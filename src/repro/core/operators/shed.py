@@ -1,0 +1,86 @@
+"""Load shedding: drop tuples under overload, keep timestamp knowledge.
+
+The paper's related work minimizes memory through operator scheduling
+(Babcock et al.'s Chain, reference [5]); the complementary DSMS tool is
+*load shedding* — deliberately dropping tuples when the system cannot keep
+up.  This operator sheds by probability or by queue pressure, and — the
+part that matters in this codebase — it stays punctuation-transparent and
+converts shedding into timestamp knowledge: a shed tuple's timestamp is not
+lost, because the operator's pass-through of later elements (or an ETS from
+upstream) still advances downstream TSM registers.
+
+Two policies:
+
+* ``probability``: classic random shedding at a fixed rate;
+* ``queue_threshold``: shed only while this operator's input buffer holds
+  more than a threshold of elements — pressure-driven shedding that is
+  inactive in a healthy system.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..errors import ExecutionError
+from ..tuples import DataTuple
+from .base import OpContext
+from .stateless import StatelessOperator
+
+__all__ = ["Shed"]
+
+
+class Shed(StatelessOperator):
+    """Probabilistic / pressure-driven load shedder.
+
+    Args:
+        probability: Chance of dropping each data tuple when shedding is
+            active (0 disables random shedding).
+        queue_threshold: When set, shedding only applies while the input
+            buffer length exceeds this threshold; when None, shedding is
+            always active.
+        seed: RNG seed — shedding must be reproducible like everything else.
+
+    Attributes:
+        shed_count: Data tuples dropped so far.
+    """
+
+    def __init__(self, name: str, probability: float, *,
+                 queue_threshold: int | None = None,
+                 seed: int = 0, output_schema=None) -> None:
+        super().__init__(name, output_schema=output_schema)
+        if not 0.0 <= probability <= 1.0:
+            raise ExecutionError(
+                f"shed {name!r}: probability must be in [0, 1], "
+                f"got {probability}"
+            )
+        if queue_threshold is not None and queue_threshold < 0:
+            raise ExecutionError(
+                f"shed {name!r}: queue_threshold must be >= 0"
+            )
+        self.probability = probability
+        self.queue_threshold = queue_threshold
+        self._rng = random.Random(seed)
+        self.shed_count = 0
+        self.passed_count = 0
+
+    def _under_pressure(self) -> bool:
+        if self.queue_threshold is None:
+            return True
+        return len(self.inputs[0]) > self.queue_threshold
+
+    def apply(self, tup: DataTuple, ctx: OpContext) -> list[Any]:
+        if (self.probability > 0.0 and self._under_pressure()
+                and self._rng.random() < self.probability):
+            self.shed_count += 1
+            return []
+        self.passed_count += 1
+        return [tup]
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of data tuples dropped so far (nan before any input)."""
+        total = self.shed_count + self.passed_count
+        if not total:
+            return float("nan")
+        return self.shed_count / total

@@ -1,0 +1,87 @@
+"""Sink nodes: where result streams leave the query graph.
+
+The arcs leading into a sink are the query's output buffers; an output
+wrapper (the user, in our examples) drains them.  Per the paper, sink nodes
+**eliminate punctuation tuples**, which are only needed internally.
+
+The sink is also the natural place to measure the paper's headline metric,
+*output latency*: the difference between the virtual-clock time at which a
+data tuple is delivered and the time it entered the DSMS (its
+``arrival_ts``).  A pluggable callback receives every delivered tuple so that
+examples can stream results while experiments aggregate statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..tuples import DataTuple
+from .base import Operator, OpContext, StepResult
+
+__all__ = ["SinkNode"]
+
+
+class SinkNode(Operator):
+    """Terminal node consuming one result stream.
+
+    Attributes:
+        delivered: Number of data tuples delivered to the output wrapper.
+        punctuation_eliminated: Punctuation tuples absorbed by this sink.
+        latency_sum / latency_max: Aggregate latency statistics, in stream
+            seconds, over tuples whose ``arrival_ts`` was recorded.
+    """
+
+    is_iwp = False
+    arity = 1
+
+    def __init__(self, name: str,
+                 on_output: Callable[[DataTuple, float], Any] | None = None,
+                 *, keep_outputs: bool = False) -> None:
+        """Create a sink.
+
+        Args:
+            name: Node name within the graph.
+            on_output: Callback invoked as ``on_output(tuple, latency)`` for
+                every delivered data tuple; latency is ``nan`` when the tuple
+                never got an arrival stamp.
+            keep_outputs: When True, delivered tuples are retained on
+                :attr:`outputs_seen` — convenient in tests and examples,
+                ruinous in long benchmarks, hence off by default.
+        """
+        super().__init__(name)
+        self.on_output = on_output
+        self.keep_outputs = keep_outputs
+        self.outputs_seen: list[DataTuple] = []
+        self.delivered = 0
+        self.punctuation_eliminated = 0
+        self.latency_sum = 0.0
+        self.latency_max = 0.0
+        self.latency_count = 0
+
+    def execute_step(self, ctx: OpContext) -> StepResult:
+        element = self.inputs[0].pop()
+        if element.is_punctuation:
+            self.punctuation_eliminated += 1
+            return StepResult(consumed=element)
+
+        assert isinstance(element, DataTuple)
+        now = ctx.clock.now()
+        latency = now - element.arrival_ts
+        if latency == latency:  # not NaN
+            self.latency_sum += latency
+            self.latency_count += 1
+            if latency > self.latency_max:
+                self.latency_max = latency
+        self.delivered += 1
+        if self.keep_outputs:
+            self.outputs_seen.append(element)
+        if self.on_output is not None:
+            self.on_output(element, latency)
+        return StepResult(consumed=element, emitted_data=0)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean output latency in stream seconds (nan before any output)."""
+        if not self.latency_count:
+            return float("nan")
+        return self.latency_sum / self.latency_count

@@ -1,0 +1,169 @@
+"""Source nodes: where streams enter the query graph.
+
+A source node owns the input buffer(s) of the query (the arcs leaving it).
+In Stream Mill these buffers are filled by external wrappers; in this
+reproduction the simulation kernel plays the wrapper role by calling
+:meth:`SourceNode.ingest` at each arrival event.
+
+The source is also where timestamps are *assigned* (paper Section 5):
+
+* ``INTERNAL`` — the tuple is stamped with the system (virtual) clock on
+  entry;
+* ``EXTERNAL`` — the application already stamped it; the source validates
+  per-stream order and remembers arrival statistics for the skew-bound ETS
+  generator;
+* ``LATENT`` — the tuple enters unstamped.
+
+Finally, the source is where on-demand ETS values materialize: when the
+engine's backtracking reaches a source whose buffer is empty, the configured
+ETS policy asks the source to :meth:`inject_punctuation`.
+"""
+
+from __future__ import annotations
+
+from ..errors import TimestampError
+from ..tuples import LATENT_TS, DataTuple, Punctuation, TimestampKind
+from .base import Operator, OpContext, StepResult
+
+__all__ = ["SourceNode"]
+
+
+class SourceNode(Operator):
+    """Entry point of a stream into the query graph.
+
+    Attributes:
+        timestamp_kind: How tuples of this stream are stamped.
+        last_data_ts: Timestamp of the most recent *data* tuple ingested
+            (``LATENT_TS`` before the first one).
+        last_arrival_wall: Virtual-clock time of the most recent data-tuple
+            arrival (``nan`` before the first one); the external skew-bound
+            ETS generator uses this together with ``last_data_ts``.
+        watermark: Largest timestamp ever emitted on this stream, data or
+            punctuation; ETS generation never goes below it.
+    """
+
+    is_iwp = False
+    arity: int | None = 0
+
+    def __init__(self, name: str,
+                 timestamp_kind: TimestampKind = TimestampKind.INTERNAL,
+                 *, out_of_order: bool = False, output_schema=None) -> None:
+        """Create a source.
+
+        Args:
+            name: Node name within the graph.
+            timestamp_kind: How this stream's tuples are stamped.
+            out_of_order: Allow externally timestamped tuples to arrive out
+                of timestamp order (bounded-disorder feeds); the graph
+                disables order enforcement on this source's arcs, and a
+                downstream :class:`~repro.core.operators.reorder.Reorder`
+                is expected to restore order before any IWP operator.
+            output_schema: Optional schema of the stream's records.
+        """
+        super().__init__(name, output_schema=output_schema)
+        self.timestamp_kind = timestamp_kind
+        if out_of_order and timestamp_kind is not TimestampKind.EXTERNAL:
+            raise TimestampError(
+                f"source {name!r}: only externally timestamped streams can "
+                "be out of order (internal/latent stamps are assigned in "
+                "arrival order)"
+            )
+        self.out_of_order = out_of_order
+        self.last_data_ts = LATENT_TS
+        self.last_arrival_wall = float("nan")
+        self.watermark = LATENT_TS
+        self.ingested_count = 0
+        self.punctuation_injected = 0
+        #: Engine round in which this source last generated an on-demand ETS;
+        #: bounds generation to once per wake-up (see execution module).
+        self.last_ets_round = -1
+
+    # ------------------------------------------------------------------ #
+    # Wrapper-facing API
+
+    def ingest(self, payload, now: float, ts: float | None = None,
+               arrival: float | None = None) -> DataTuple:
+        """Admit one application record into the stream at wall time ``now``.
+
+        Args:
+            payload: The record carried by the tuple.
+            now: Current virtual-clock time — the instant the tuple *enters*
+                the DSMS; internal timestamps are assigned from it.
+            ts: Application timestamp; required for external streams and
+                forbidden otherwise.
+            arrival: Physical arrival instant for latency accounting; when
+                the engine was busy, this precedes ``now``.  Defaults to
+                ``now``.
+
+        Returns:
+            The :class:`DataTuple` that was pushed into the output buffer(s).
+        """
+        kind = self.timestamp_kind
+        if kind is TimestampKind.EXTERNAL:
+            if ts is None:
+                raise TimestampError(
+                    f"source {self.name!r} is externally timestamped; "
+                    "ingest() requires ts"
+                )
+            stamped_ts = float(ts)
+            if (not self.out_of_order and self.last_data_ts != LATENT_TS
+                    and stamped_ts < self.last_data_ts):
+                raise TimestampError(
+                    f"source {self.name!r}: external timestamps must be "
+                    f"non-decreasing ({stamped_ts} after {self.last_data_ts})"
+                )
+        elif kind is TimestampKind.INTERNAL:
+            if ts is not None:
+                raise TimestampError(
+                    f"source {self.name!r} is internally timestamped; "
+                    "ingest() must not pass ts"
+                )
+            stamped_ts = now
+        else:  # LATENT
+            if ts is not None:
+                raise TimestampError(
+                    f"source {self.name!r} is latent; ingest() must not pass ts"
+                )
+            stamped_ts = LATENT_TS
+
+        tup = DataTuple(ts=stamped_ts, payload=payload, kind=kind,
+                        arrival_ts=arrival if arrival is not None else now)
+        self.emit(tup)
+        self.ingested_count += 1
+        if stamped_ts != LATENT_TS and stamped_ts >= self.last_data_ts:
+            # On out-of-order streams, track the frontier tuple: the
+            # skew-bound ETS generator extrapolates from the largest
+            # timestamp seen and its arrival instant.
+            self.last_data_ts = stamped_ts
+            if stamped_ts > self.watermark:
+                self.watermark = stamped_ts
+        self.last_arrival_wall = now
+        return tup
+
+    def inject_punctuation(self, ts: float, *, origin: str = "",
+                           periodic: bool = False) -> bool:
+        """Push an ETS punctuation with timestamp ``ts`` into the stream.
+
+        The injection is skipped (returning False) when ``ts`` would not
+        advance the stream's watermark: such a punctuation could violate the
+        ordered-stream invariant downstream and could not unblock anything
+        the previous watermark did not already unblock.
+        """
+        if self.timestamp_kind is TimestampKind.LATENT:
+            return False
+        if self.watermark != LATENT_TS and ts <= self.watermark:
+            return False
+        punct = Punctuation(ts=ts, origin=origin or self.name, periodic=periodic)
+        self.emit(punct)
+        self.watermark = ts
+        self.punctuation_injected += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Operator contract (sources never execute)
+
+    def more(self) -> bool:
+        return False
+
+    def execute_step(self, ctx: OpContext) -> StepResult:  # pragma: no cover
+        raise NotImplementedError(f"source {self.name!r} is not executable")

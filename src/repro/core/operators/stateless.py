@@ -1,0 +1,44 @@
+"""Shared machinery for single-input, non-IWP operators.
+
+Non-IWP operators are straightforward (paper Section 2): compute the result,
+emit it with the input tuple's timestamp, consume the input.  They must also
+be punctuation-transparent (Section 4.2): punctuation tuples pass through
+unchanged, except for reformatting, so that ETS information reaches the IWP
+operators down the path.
+"""
+
+from __future__ import annotations
+
+from ..tuples import DataTuple, StreamElement
+from .base import Operator, OpContext, StepResult
+
+__all__ = ["StatelessOperator"]
+
+
+class StatelessOperator(Operator):
+    """Base for operators that map one input element to 0..n output tuples.
+
+    Sub-classes implement :meth:`apply`, which receives a data tuple and
+    returns the data tuples to emit (possibly none, as for a failed
+    selection).  Punctuation handling and consumption are centralized here.
+    """
+
+    is_iwp = False
+    arity = 1
+
+    def execute_step(self, ctx: OpContext) -> StepResult:
+        element: StreamElement = self.inputs[0].pop()
+        if element.is_punctuation:
+            self.emit_punctuation(element)
+            return StepResult(consumed=element, emitted_punctuation=1)
+
+        assert isinstance(element, DataTuple)
+        emitted = 0
+        for out in self.apply(element, ctx):
+            self.emit(out)
+            emitted += 1
+        return StepResult(consumed=element, emitted_data=emitted)
+
+    def apply(self, tup: DataTuple, ctx: OpContext) -> list[DataTuple]:
+        """Transform one data tuple into its output tuples."""
+        raise NotImplementedError

@@ -1,0 +1,151 @@
+"""The union operator — the paper's canonical Idle-Waiting-Prone operator.
+
+Union is a sort-merge over its input streams: it repeatedly moves a tuple
+with minimal timestamp to the output, producing a single stream ordered by
+timestamp.  Three behavioural modes are supported, matching the paper:
+
+* **strict** (paper Fig. 1): union proceeds only when *all* inputs are
+  nonempty; this is the classical rule and both suffers idle-waiting and
+  mishandles simultaneous tuples (Section 4.1).
+* **TSM / relaxed** (paper Figs. 5–6, the default): each input carries a
+  Time-Stamp Memory register; with τ the minimum over the registers, union
+  proceeds whenever some input holds an element stamped τ.  Punctuation
+  tuples advance registers and are re-emitted (deduplicated) downstream.
+* **latent** (engaged automatically for unstamped elements): a latent tuple
+  is forwarded as soon as it arrives, with no timestamp checks at all —
+  the paper's scenario D and its performance optimum.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExecutionError, GraphError
+from ..tuples import LATENT_TS, Punctuation
+from .base import Operator, OpContext, StepResult
+
+__all__ = ["Union"]
+
+
+class Union(Operator):
+    """N-ary order-preserving merge with TSM-register idle-waiting relief.
+
+    Attributes:
+        strict: Use the original Fig.-1 rules (all-inputs-present) instead of
+            the relaxed TSM condition.  Kept for the X1 ablation and for
+            faithful scenario-A baselines.
+    """
+
+    is_iwp = True
+    arity: int | None = None  # n-ary
+
+    def __init__(self, name: str, *, strict: bool = False, output_schema=None) -> None:
+        super().__init__(name, output_schema=output_schema)
+        self.strict = strict
+        self._last_emitted_ts = LATENT_TS
+        self.data_forwarded = 0
+        self.punctuation_consumed = 0
+        self.punctuation_forwarded = 0
+        self.punctuation_suppressed = 0
+
+    def validate_wiring(self) -> None:
+        super().validate_wiring()
+        if len(self.inputs) < 2:
+            raise GraphError(
+                f"union {self.name!r} needs at least two inputs, "
+                f"has {len(self.inputs)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Gating
+
+    def _gates(self) -> list[float]:
+        """Per-input gate timestamps (refreshes TSM registers)."""
+        return [buf.gate_ts() for buf in self.inputs]
+
+    def _latent_ready_index(self) -> int | None:
+        """Index of an input whose head is a latent tuple, if any."""
+        for i, buf in enumerate(self.inputs):
+            head = buf.peek()
+            if head is not None and head.is_latent:
+                return i
+        return None
+
+    def more(self) -> bool:
+        if self._latent_ready_index() is not None:
+            return True
+        if self.strict:
+            return all(buf for buf in self.inputs)
+        gates = self._gates()
+        tau = min(gates)
+        if tau == LATENT_TS:
+            return False  # some input has never produced: block conservatively
+        return any(buf.head_ts() == tau for buf in self.inputs)
+
+    def stalled_input_index(self) -> int:
+        if self.strict:
+            for i, buf in enumerate(self.inputs):
+                if buf.is_empty:
+                    return i
+            return 0
+        gates = self._gates()
+        tau = min(gates)
+        candidates = [i for i, buf in enumerate(self.inputs)
+                      if buf.is_empty and gates[i] == tau]
+        if candidates:
+            return candidates[0]
+        # Fall back to the input with the smallest gate; keeps backtracking
+        # well-defined even if more() flipped between calls.
+        return min(range(len(gates)), key=gates.__getitem__)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+
+    def _select_index(self) -> int:
+        """Choose which input to consume from, per the active mode."""
+        latent_idx = self._latent_ready_index()
+        if latent_idx is not None:
+            return latent_idx
+        if self.strict:
+            heads = [(buf.head_ts(), i) for i, buf in enumerate(self.inputs)]
+            return min(heads)[1]
+        gates = self._gates()
+        tau = min(gates)
+        # Prefer data tuples over punctuation at equal timestamps so that a
+        # punctuation never delays a ready data tuple it arrived with.
+        punct_idx: int | None = None
+        for i, buf in enumerate(self.inputs):
+            head = buf.peek()
+            if head is None or head.ts != tau:
+                continue
+            if head.is_punctuation:
+                punct_idx = punct_idx if punct_idx is not None else i
+            else:
+                return i
+        if punct_idx is None:
+            raise ExecutionError(
+                f"union {self.name!r}: execute_step called without more()"
+            )
+        return punct_idx
+
+    def execute_step(self, ctx: OpContext) -> StepResult:
+        idx = self._select_index()
+        element = self.inputs[idx].pop()
+
+        if element.is_punctuation:
+            self.punctuation_consumed += 1
+            # The safe output watermark is min over all gates *after* this
+            # punctuation advanced its own input's register.
+            tau = min(self._gates()) if not self.strict else element.ts
+            if tau > self._last_emitted_ts:
+                self.emit(Punctuation(ts=tau, origin=self.name,
+                                      periodic=getattr(element, "periodic", False)))
+                self._last_emitted_ts = tau
+                self.punctuation_forwarded += 1
+                return StepResult(consumed=element, emitted_punctuation=1)
+            self.punctuation_suppressed += 1
+            return StepResult(consumed=element)
+
+        self.emit(element)
+        self.data_forwarded += 1
+        if element.ts != LATENT_TS and element.ts > self._last_emitted_ts:
+            self._last_emitted_ts = element.ts
+        return StepResult(consumed=element, emitted_data=1)

@@ -1,0 +1,166 @@
+"""Typed record schemas for streams.
+
+Stream Mill streams are relations over time; each stream has a schema.  The
+engine itself treats payloads as opaque, but schemas give examples, the query
+builder, and the mini query language a way to validate records, name fields,
+and derive output schemas for projections and joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from .errors import SchemaError
+
+__all__ = ["Field", "Schema"]
+
+_ALLOWED_TYPES = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": bool,
+    "any": object,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    """A named, typed field of a stream schema.
+
+    Attributes:
+        name: Field name; must be a valid Python identifier.
+        type_name: One of ``int``, ``float``, ``str``, ``bool``, ``any``.
+        nullable: Whether ``None`` is an acceptable value.
+    """
+
+    name: str
+    type_name: str = "any"
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SchemaError(f"field name {self.name!r} is not an identifier")
+        if self.type_name not in _ALLOWED_TYPES:
+            raise SchemaError(
+                f"field {self.name!r}: unknown type {self.type_name!r}; "
+                f"expected one of {sorted(_ALLOWED_TYPES)}"
+            )
+
+    @property
+    def python_type(self) -> type:
+        return _ALLOWED_TYPES[self.type_name]
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` unless ``value`` conforms to this field."""
+        if value is None:
+            if self.nullable:
+                return
+            raise SchemaError(f"field {self.name!r} is not nullable")
+        if self.type_name == "any":
+            return
+        expected = self.python_type
+        # bool is a subclass of int; keep them distinct for schema purposes.
+        if expected is int and isinstance(value, bool):
+            raise SchemaError(f"field {self.name!r}: expected int, got bool")
+        if expected is float and isinstance(value, int) and not isinstance(value, bool):
+            return  # ints are acceptable where floats are expected
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"field {self.name!r}: expected {self.type_name}, "
+                f"got {type(value).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of named fields describing one stream's records.
+
+    Records are plain mappings (usually dicts) from field name to value.
+    """
+
+    fields: tuple[Field, ...] = ()
+    name: str = ""
+    _by_name: Mapping[str, Field] = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        by_name: dict[str, Field] = {}
+        for f in self.fields:
+            if f.name in by_name:
+                raise SchemaError(f"duplicate field {f.name!r} in schema {self.name!r}")
+            by_name[f.name] = f
+        object.__setattr__(self, "_by_name", by_name)
+
+    @classmethod
+    def of(cls, name: str = "", **field_types: str) -> "Schema":
+        """Build a schema from keyword arguments.
+
+        Example::
+
+            Schema.of("packets", src="str", bytes="int", rtt="float")
+        """
+        return cls(tuple(Field(n, t) for n, t in field_types.items()), name=name)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __contains__(self, field_name: str) -> bool:
+        return field_name in self._by_name
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def field(self, name: str) -> Field:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no field {name!r}; "
+                f"fields are {self.field_names()}"
+            ) from None
+
+    def validate(self, record: Mapping[str, Any]) -> None:
+        """Raise :class:`SchemaError` unless ``record`` conforms to this schema."""
+        if not isinstance(record, Mapping):
+            raise SchemaError(
+                f"schema {self.name!r}: record must be a mapping, "
+                f"got {type(record).__name__}"
+            )
+        for f in self.fields:
+            if f.name not in record:
+                if f.nullable:
+                    continue
+                raise SchemaError(f"schema {self.name!r}: missing field {f.name!r}")
+            f.validate(record[f.name])
+        extra = set(record) - set(self._by_name)
+        if extra:
+            raise SchemaError(
+                f"schema {self.name!r}: unexpected fields {sorted(extra)}"
+            )
+
+    def project(self, names: Iterable[str], name: str = "") -> "Schema":
+        """Return the sub-schema containing only ``names``, in the given order."""
+        return Schema(tuple(self.field(n) for n in names), name=name or self.name)
+
+    def join(self, other: "Schema", *, left_prefix: str = "", right_prefix: str = "",
+             name: str = "") -> "Schema":
+        """Return the concatenated schema of a join output.
+
+        Colliding names must be disambiguated with prefixes, mirroring how the
+        join operator prefixes payload keys.
+        """
+        fields: list[Field] = []
+        seen: set[str] = set()
+        for prefix, schema in ((left_prefix, self), (right_prefix, other)):
+            for f in schema.fields:
+                new_name = f"{prefix}{f.name}" if prefix else f.name
+                if new_name in seen:
+                    raise SchemaError(
+                        f"join schema collision on {new_name!r}; pass prefixes"
+                    )
+                seen.add(new_name)
+                fields.append(Field(new_name, f.type_name, f.nullable))
+        return Schema(tuple(fields), name=name)

@@ -1,0 +1,159 @@
+"""Execution tracing: observe the engine's NOS decisions.
+
+The paper specifies the execution model as rules (Fig. 3's two-step cycle,
+the Forward/Encore/Backtrack NOS rules, the Backtrack-to-source ETS hook).
+A :class:`Tracer` records each decision the engine takes so tests can assert
+the rules *literally* — e.g. that processing one tuple through the Fig.-2
+simple path produces exactly ``execute(Q1), forward(Q2), execute(Q2),
+backtrack(Q1), backtrack(source)`` — and so users can debug surprising
+schedules.
+
+Tracing is opt-in (pass ``tracer=`` to :class:`TracingEngine`) and costs one
+callback per decision when enabled, nothing when not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .execution import ExecutionEngine
+from .operators.base import Operator, StepResult
+from .operators.source import SourceNode
+
+__all__ = ["TraceEvent", "Tracer", "TracingEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One engine decision.
+
+    Attributes:
+        kind: ``"execute"``, ``"forward"``, ``"encore"``, ``"backtrack"``,
+            ``"ets"``, or ``"quiesce"``.
+        operator: Name of the operator (or source) the decision concerns.
+        round_id: Engine wake-up round during which it happened.
+        detail: Optional extra (e.g. stalled input index for backtrack,
+            whether an ETS injection succeeded).
+    """
+
+    kind: str
+    operator: str
+    round_id: int
+    detail: str = ""
+
+
+class Tracer:
+    """Accumulates :class:`TraceEvent` records with light query helpers."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.events: list[TraceEvent] = []
+        self.capacity = capacity
+
+    def record(self, kind: str, operator: str, round_id: int,
+               detail: str = "") -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            return
+        self.events.append(TraceEvent(kind, operator, round_id, detail))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def kinds(self) -> list[str]:
+        return [e.kind for e in self.events]
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def sequence(self) -> list[tuple[str, str]]:
+        """(kind, operator) pairs in order — the usual assertion target."""
+        return [(e.kind, e.operator) for e in self.events]
+
+    def format(self) -> str:
+        """Human-readable dump, one decision per line."""
+        return "\n".join(
+            f"[round {e.round_id}] {e.kind:10s} {e.operator}"
+            + (f"  ({e.detail})" if e.detail else "")
+            for e in self.events
+        )
+
+
+class TracingEngine(ExecutionEngine):
+    """Drop-in :class:`ExecutionEngine` that reports decisions to a tracer.
+
+    The walk logic is inherited unchanged; this class only layers the
+    recording into the hook points (`_step`, `_try_ets`) and re-implements
+    the continuation bookkeeping of ``_walk`` to tag Forward / Encore /
+    Backtrack transitions.
+    """
+
+    def __init__(self, *args, tracer: Tracer | None = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    # -- recording hooks ------------------------------------------------ #
+
+    def _step(self, op: Operator) -> StepResult:
+        result = super()._step(op)
+        self.tracer.record("execute", op.name, self._round_id,
+                           detail="punct" if result.consumed_punctuation
+                           else "data")
+        return result
+
+    def _try_ets(self, source: SourceNode) -> bool:
+        injected = super()._try_ets(source)
+        self.tracer.record("ets", source.name, self._round_id,
+                           detail="injected" if injected else "declined")
+        return injected
+
+    # -- traced walk ----------------------------------------------------- #
+
+    def _walk(self, start: Operator) -> bool:  # noqa: C901 - mirrors base
+        progress = False
+        current = start
+        execute = True
+        while True:
+            self._pump_due()
+            if isinstance(current, SourceNode):
+                nxt = self._forward_target(current)
+                if nxt is not None:
+                    self.tracer.record("forward", nxt.name, self._round_id)
+                    current, execute = nxt, True
+                    continue
+                if self._try_ets(current):
+                    progress = True
+                    continue
+                return progress
+            if execute and current.more():
+                self._step(current)
+                progress = True
+            nxt = self._forward_target(current)
+            if nxt is not None:
+                self.tracer.record("forward", nxt.name, self._round_id)
+                current, execute = nxt, True
+                continue
+            if current.more():
+                self.tracer.record("encore", current.name, self._round_id)
+                execute = True
+                continue
+            if not current.inputs:
+                return progress
+            j = current.stalled_input_index()
+            pred = current.predecessors[j]
+            if pred is None:
+                return progress
+            self.tracer.record("backtrack", pred.name, self._round_id,
+                               detail=f"stalled input {j} of {current.name}")
+            current, execute = pred, False
+
+    def wakeup(self, entry: Operator | None = None) -> None:
+        super().wakeup(entry)
+        self.tracer.record("quiesce", "-", self._round_id)
+
+
+def summarize(events: Iterable[TraceEvent]) -> dict[str, int]:
+    """Count events by kind — a quick sanity surface for tests and examples."""
+    counts: dict[str, int] = {}
+    for e in events:
+        counts[e.kind] = counts.get(e.kind, 0) + 1
+    return counts

@@ -1,0 +1,45 @@
+"""Experiment harness: scenario runner and paper figure/table regeneration."""
+
+from .figures import (
+    DEFAULT_HEARTBEAT_RATES,
+    SweepResult,
+    figure7,
+    figure8,
+    format_figure7,
+    format_figure8,
+    format_idle_table,
+    idle_waiting_table,
+    run_sweep,
+)
+from .validation import (
+    ClaimResult,
+    format_claims,
+    run_validation,
+    validate_paper_claims,
+)
+from .runner import (
+    ExperimentResult,
+    result_from_handles,
+    run_join_experiment,
+    run_union_experiment,
+)
+
+__all__ = [
+    "ClaimResult",
+    "DEFAULT_HEARTBEAT_RATES",
+    "ExperimentResult",
+    "SweepResult",
+    "figure7",
+    "figure8",
+    "format_figure7",
+    "format_figure8",
+    "format_idle_table",
+    "idle_waiting_table",
+    "result_from_handles",
+    "run_join_experiment",
+    "run_sweep",
+    "run_union_experiment",
+    "run_validation",
+    "validate_paper_claims",
+    "format_claims",
+]

@@ -1,0 +1,16 @@
+"""Metrics: latency recording, queue occupancy, idle-waiting accounting."""
+
+from .idle import IdleTracker
+from .latency import LatencyRecorder
+from .profile import OperatorProfile, format_profile, profile_simulation
+from .queues import QueueSampler, queue_summary
+
+__all__ = [
+    "IdleTracker",
+    "LatencyRecorder",
+    "OperatorProfile",
+    "QueueSampler",
+    "format_profile",
+    "profile_simulation",
+    "queue_summary",
+]

@@ -1,0 +1,77 @@
+"""Idle-waiting accounting for IWP operators.
+
+The paper reports "the percentage of time the union operator spends in an
+idle-waiting state" (Section 6): 99 % without ETS, 15 % with 100 Hz periodic
+ETS, under 0.1 % with on-demand ETS.  An operator is *idle-waiting* when it
+holds at least one pending data tuple but its ``more`` condition is false —
+tuples are sitting in its input buffers purely because of timestamp skew.
+
+:class:`IdleTracker` integrates that state over virtual time.  The engine
+refreshes the tracker at every state transition it causes (steps, ETS
+injections, wake-ups, quiescence), so the accrued intervals are exact up to
+the engine's own step granularity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.operators.base import Operator
+
+__all__ = ["IdleTracker"]
+
+
+class IdleTracker:
+    """Integrates idle-waiting time per tracked operator."""
+
+    def __init__(self, operators: Iterable["Operator"], start_time: float = 0.0) -> None:
+        self._ops = list(operators)
+        self._blocked_since: dict[str, float | None] = {op.name: None
+                                                        for op in self._ops}
+        self._total: dict[str, float] = {op.name: 0.0 for op in self._ops}
+        self._start = start_time
+        self._last_seen = start_time
+
+    @property
+    def operators(self) -> list["Operator"]:
+        return list(self._ops)
+
+    @staticmethod
+    def _is_blocked(op: "Operator") -> bool:
+        return op.has_pending_data() and not op.more()
+
+    def refresh(self, now: float) -> None:
+        """Re-evaluate every tracked operator's blocked state at time ``now``."""
+        for op in self._ops:
+            blocked = self._is_blocked(op)
+            since = self._blocked_since[op.name]
+            if blocked and since is None:
+                self._blocked_since[op.name] = now
+            elif not blocked and since is not None:
+                self._total[op.name] += now - since
+                self._blocked_since[op.name] = None
+        self._last_seen = max(self._last_seen, now)
+
+    def idle_time(self, op_name: str, now: float | None = None) -> float:
+        """Total idle-waiting seconds accrued by ``op_name`` so far.
+
+        Open intervals are counted up to ``now`` (default: the last refresh).
+        """
+        total = self._total[op_name]
+        since = self._blocked_since[op_name]
+        if since is not None:
+            total += (now if now is not None else self._last_seen) - since
+        return total
+
+    def idle_fraction(self, op_name: str, now: float | None = None) -> float:
+        """Idle-waiting time as a fraction of the observed duration."""
+        end = now if now is not None else self._last_seen
+        duration = end - self._start
+        if duration <= 0:
+            return 0.0
+        return self.idle_time(op_name, end) / duration
+
+    def snapshot(self, now: float | None = None) -> dict[str, float]:
+        """Idle fractions for every tracked operator."""
+        return {op.name: self.idle_fraction(op.name, now) for op in self._ops}

@@ -1,0 +1,78 @@
+"""Output-latency recording.
+
+Latency of a result tuple is the virtual-clock time at which the sink
+delivers it minus the time the contributing tuple entered the DSMS
+(``arrival_ts``).  The recorder keeps exact count/mean/max plus a bounded
+reservoir sample for percentiles, so million-tuple runs stay O(1) in memory.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = ["LatencyRecorder"]
+
+
+class LatencyRecorder:
+    """Streaming latency statistics; usable as a sink ``on_output`` callback.
+
+    Attributes:
+        count / total / max_latency: Exact aggregates in stream seconds.
+    """
+
+    def __init__(self, reservoir_size: int = 4096, seed: int = 0) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max_latency = 0.0
+        self.min_latency = math.inf
+        self._reservoir: list[float] = []
+        self._reservoir_size = reservoir_size
+        self._rng = random.Random(seed)
+
+    def __call__(self, tup, latency: float) -> None:
+        """Sink callback signature: ``on_output(tuple, latency)``."""
+        self.record(latency)
+
+    def record(self, latency: float) -> None:
+        if latency != latency:  # NaN: tuple never got an arrival stamp
+            return
+        self.count += 1
+        self.total += latency
+        if latency > self.max_latency:
+            self.max_latency = latency
+        if latency < self.min_latency:
+            self.min_latency = latency
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(latency)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = latency
+
+    @property
+    def mean(self) -> float:
+        if not self.count:
+            return float("nan")
+        return self.total / self.count
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-quantile (0 ≤ q ≤ 1) from the reservoir sample."""
+        if not self._reservoir:
+            return float("nan")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        ordered = sorted(self._reservoir)
+        idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def summary(self) -> dict[str, float]:
+        """Headline statistics as a plain dict (handy for reports)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.max_latency,
+            "min": self.min_latency if self.count else float("nan"),
+            "p50": self.percentile(0.5),
+            "p99": self.percentile(0.99),
+        }

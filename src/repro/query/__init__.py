@@ -1,0 +1,14 @@
+"""Query construction: fluent builder and the mini continuous-query language."""
+
+from .builder import Query, StreamHandle
+from .language import CompiledQuery, compile_query
+from .parser import compile_expression, tokenize
+
+__all__ = [
+    "CompiledQuery",
+    "Query",
+    "StreamHandle",
+    "compile_expression",
+    "compile_query",
+    "tokenize",
+]

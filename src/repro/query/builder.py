@@ -1,0 +1,194 @@
+"""Fluent query builder: compose query graphs without manual wiring.
+
+The raw :class:`~repro.core.graph.QueryGraph` API is explicit but verbose;
+this builder provides the chainable style most users expect::
+
+    q = Query("monitor")
+    fast = q.source("fast")
+    slow = q.source("slow")
+    merged = fast.select(lambda p: p["value"] < 0.95).union(
+        slow.select(lambda p: p["value"] < 0.95))
+    merged.sink("out")
+    graph = q.build()
+
+Every combinator returns a :class:`StreamHandle` — a cursor over the
+operator whose output the next combinator will consume.  Names are generated
+automatically unless given.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from ..core.errors import GraphError
+from ..core.graph import QueryGraph
+from ..core.operators import (
+    AggSpec,
+    FlatMap,
+    Map,
+    Project,
+    Reorder,
+    Select,
+    SinkNode,
+    SlidingAggregate,
+    SourceNode,
+    TumblingAggregate,
+    Union,
+    WindowJoin,
+)
+from ..core.operators.base import Operator
+from ..core.tuples import TimestampKind
+from ..core.windows import WindowSpec
+
+__all__ = ["Query", "StreamHandle"]
+
+
+class Query:
+    """A query graph under construction."""
+
+    def __init__(self, name: str = "query") -> None:
+        self.graph = QueryGraph(name)
+        self._counters: dict[str, int] = {}
+
+    def _auto_name(self, prefix: str, name: str | None) -> str:
+        if name is not None:
+            return name
+        n = self._counters.get(prefix, 0) + 1
+        self._counters[prefix] = n
+        return f"{prefix}_{n}"
+
+    def source(self, name: str | None = None,
+               kind: TimestampKind = TimestampKind.INTERNAL,
+               *, out_of_order: bool = False) -> "StreamHandle":
+        """Declare an input stream; returns its handle."""
+        node = self.graph.add_source(self._auto_name("source", name), kind,
+                                     out_of_order=out_of_order)
+        return StreamHandle(self, node)
+
+    def _extend(self, upstream: Operator, op: Operator) -> "StreamHandle":
+        self.graph.add(op)
+        self.graph.connect(upstream, op)
+        return StreamHandle(self, op)
+
+    def build(self) -> QueryGraph:
+        """Validate and return the finished graph."""
+        return self.graph.validate()
+
+
+class StreamHandle:
+    """A cursor over one operator's output stream inside a :class:`Query`."""
+
+    def __init__(self, query: Query, op: Operator) -> None:
+        self.query = query
+        self.op = op
+
+    # ------------------------------------------------------------------ #
+    # Stateless combinators
+
+    def select(self, predicate: Callable[[Any], bool],
+               name: str | None = None) -> "StreamHandle":
+        """Filter: keep payloads satisfying ``predicate``."""
+        return self.query._extend(
+            self.op, Select(self.query._auto_name("select", name), predicate))
+
+    def where(self, predicate: Callable[[Any], bool],
+              name: str | None = None) -> "StreamHandle":
+        """Alias for :meth:`select`."""
+        return self.select(predicate, name)
+
+    def project(self, fields: Iterable[str],
+                name: str | None = None) -> "StreamHandle":
+        """Keep only the named payload fields."""
+        return self.query._extend(
+            self.op, Project(self.query._auto_name("project", name), fields))
+
+    def map(self, fn: Callable[[Any], Any],
+            name: str | None = None) -> "StreamHandle":
+        """Transform each payload with ``fn``."""
+        return self.query._extend(
+            self.op, Map(self.query._auto_name("map", name), fn))
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]],
+                 name: str | None = None) -> "StreamHandle":
+        """Expand each payload into zero or more payloads."""
+        return self.query._extend(
+            self.op, FlatMap(self.query._auto_name("flatmap", name), fn))
+
+    def reorder(self, slack: float, name: str | None = None,
+                late: str = "drop") -> "StreamHandle":
+        """Restore timestamp order over a bounded-disorder stream."""
+        return self.query._extend(
+            self.op, Reorder(self.query._auto_name("reorder", name), slack,
+                             late=late))
+
+    # ------------------------------------------------------------------ #
+    # IWP combinators
+
+    def union(self, *others: "StreamHandle", name: str | None = None,
+              strict: bool = False) -> "StreamHandle":
+        """Order-preserving merge of this stream with ``others``."""
+        if not others:
+            raise GraphError("union needs at least one other stream")
+        op = Union(self.query._auto_name("union", name), strict=strict)
+        self.query.graph.add(op)
+        self.query.graph.connect(self.op, op)
+        for other in others:
+            if other.query is not self.query:
+                raise GraphError("cannot union streams from different queries")
+            self.query.graph.connect(other.op, op)
+        return StreamHandle(self.query, op)
+
+    def join(self, other: "StreamHandle", window: WindowSpec, *,
+             predicate: Callable[[Any, Any], bool] | None = None,
+             key: str | tuple[str, str] | None = None,
+             name: str | None = None, strict: bool = False,
+             **join_kwargs) -> "StreamHandle":
+        """Symmetric window join of this stream (left) with ``other``."""
+        if other.query is not self.query:
+            raise GraphError("cannot join streams from different queries")
+        op = WindowJoin(self.query._auto_name("join", name), window,
+                        predicate=predicate, key=key, strict=strict,
+                        **join_kwargs)
+        self.query.graph.add(op)
+        self.query.graph.connect(self.op, op)
+        self.query.graph.connect(other.op, op)
+        return StreamHandle(self.query, op)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+
+    def tumbling(self, width: float, aggs: Mapping[str, AggSpec], *,
+                 group_by: str | None = None, emit_empty: bool = False,
+                 name: str | None = None) -> "StreamHandle":
+        """Tumbling-window aggregate of the given width (seconds)."""
+        op = TumblingAggregate(self.query._auto_name("tumbling", name),
+                               width, aggs, group_by=group_by,
+                               emit_empty=emit_empty)
+        return self.query._extend(self.op, op)
+
+    def sliding(self, span: float, aggs: Mapping[str, AggSpec],
+                name: str | None = None) -> "StreamHandle":
+        """Continuous sliding-window aggregate over the trailing span."""
+        op = SlidingAggregate(self.query._auto_name("sliding", name),
+                              span, aggs)
+        return self.query._extend(self.op, op)
+
+    # ------------------------------------------------------------------ #
+    # Terminals
+
+    def sink(self, name: str | None = None,
+             on_output: Callable | None = None,
+             keep_outputs: bool = False) -> SinkNode:
+        """Terminate the stream in a sink; returns the sink node."""
+        sink = SinkNode(self.query._auto_name("sink", name), on_output,
+                        keep_outputs=keep_outputs)
+        self.query.graph.add(sink)
+        self.query.graph.connect(self.op, sink)
+        return sink
+
+    @property
+    def source_node(self) -> SourceNode:
+        """The underlying source node (only valid on source handles)."""
+        if not isinstance(self.op, SourceNode):
+            raise GraphError(f"{self.op.name!r} is not a source")
+        return self.op

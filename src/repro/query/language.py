@@ -1,0 +1,356 @@
+"""The mini continuous-query language: statements compiled to query graphs.
+
+A program is a sequence of semicolon-terminated statements (keywords are
+case-insensitive, ``--`` starts a line comment)::
+
+    STREAM fast (seq int, value float) TIMESTAMP INTERNAL;
+    STREAM slow (seq int, value float);
+
+    s1 = SELECT * FROM fast WHERE value < 0.95;
+    s2 = SELECT seq, value FROM slow WHERE value < 0.95;
+
+    merged = UNION s1, s2;
+    pairs  = JOIN s1, s2 WINDOW 60s ON left.seq == right.seq;
+    rates  = AGGREGATE merged WINDOW 10s GROUP BY seq
+             COMPUTE n = count(), total = sum(value);
+
+    SINK merged AS out;
+
+Durations accept unit suffixes (``ms``, ``s``, ``min``, ``h``; bare numbers
+are seconds).  Out-of-order external feeds are declared with
+``STREAM ticks (..) TIMESTAMP EXTERNAL UNORDERED;`` and repaired with
+``fixed = REORDER ticks SLACK 500ms [LATE DROP|ERROR];``.
+
+Compilation produces a :class:`CompiledQuery` holding the validated
+:class:`~repro.core.graph.QueryGraph` plus name→node maps for sources and
+sinks, ready to hand to a :class:`~repro.sim.kernel.Simulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import QueryLanguageError
+from ..core.graph import QueryGraph
+from ..core.operators import (
+    AggSpec,
+    Avg,
+    Count,
+    Max,
+    Min,
+    Project,
+    Reorder,
+    Select,
+    SinkNode,
+    SourceNode,
+    Sum,
+    TumblingAggregate,
+    Union,
+    WindowJoin,
+)
+from ..core.operators.base import Operator
+from ..core.schema import Field, Schema
+from ..core.tuples import TimestampKind
+from ..core.windows import WindowSpec
+from .parser import Evaluator, ExpressionParser, Token, tokenize
+
+__all__ = ["CompiledQuery", "compile_query"]
+
+_TIMESTAMP_KINDS = {
+    "internal": TimestampKind.INTERNAL,
+    "external": TimestampKind.EXTERNAL,
+    "latent": TimestampKind.LATENT,
+}
+
+_AGG_FACTORIES = {
+    "count": Count,
+    "sum": Sum,
+    "avg": Avg,
+    "min": Min,
+    "max": Max,
+}
+
+
+@dataclass(slots=True)
+class CompiledQuery:
+    """Result of compiling a program: graph plus named entry/exit points."""
+
+    graph: QueryGraph
+    sources: dict[str, SourceNode] = field(default_factory=dict)
+    sinks: dict[str, SinkNode] = field(default_factory=dict)
+    streams: dict[str, Operator] = field(default_factory=dict)
+
+
+class _Compiler:
+    """Statement-level recursive-descent compiler."""
+
+    def __init__(self, tokens: list[Token], name: str) -> None:
+        self.parser = ExpressionParser(tokens)
+        self.query = CompiledQuery(graph=QueryGraph(name))
+        self._op_seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Utilities
+
+    def _fresh(self, prefix: str) -> str:
+        self._op_seq += 1
+        return f"__{prefix}{self._op_seq}"
+
+    def _resolve(self, name: str) -> Operator:
+        op = self.query.streams.get(name)
+        if op is None:
+            raise QueryLanguageError(f"unknown stream {name!r}")
+        return op
+
+    def _bind(self, name: str, op: Operator) -> None:
+        if name in self.query.streams:
+            raise QueryLanguageError(f"stream {name!r} is already defined")
+        self.query.streams[name] = op
+
+    def _end_statement(self) -> None:
+        self.parser.expect("punct", ";")
+
+    _DURATION_UNITS = {"ms": 1e-3, "s": 1.0, "sec": 1.0, "secs": 1.0,
+                       "m": 60.0, "min": 60.0, "mins": 60.0,
+                       "h": 3600.0, "hr": 3600.0, "hours": 3600.0}
+
+    def _parse_duration(self) -> float:
+        """NUMBER with an optional unit suffix: ``60``, ``60s``, ``5 min``."""
+        value = float(self.parser.expect("number").text)
+        unit = self.parser.accept("ident")
+        if unit is not None:
+            factor = self._DURATION_UNITS.get(unit.text.lower())
+            if factor is None:
+                raise QueryLanguageError(
+                    f"unknown duration unit {unit.text!r} at position "
+                    f"{unit.pos}; expected one of "
+                    f"{sorted(set(self._DURATION_UNITS))}"
+                )
+            value *= factor
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Program
+
+    def compile(self) -> CompiledQuery:
+        while self.parser.peek() is not None:
+            token = self.parser.peek()
+            assert token is not None
+            if token.is_kw("stream"):
+                self._stream_decl()
+            elif token.is_kw("sink"):
+                self._sink_stmt()
+            elif token.kind == "ident":
+                self._assignment()
+            else:
+                raise QueryLanguageError(
+                    f"unexpected {token.text!r} at position {token.pos}; "
+                    "expected STREAM, SINK, or an assignment"
+                )
+        if not self.query.sinks:
+            raise QueryLanguageError("program declares no SINK")
+        self.query.graph.validate()
+        return self.query
+
+    # ------------------------------------------------------------------ #
+    # Statements
+
+    def _stream_decl(self) -> None:
+        self.parser.expect("keyword", "stream")
+        name = self.parser.expect("ident").text
+        schema = None
+        if self.parser.accept("punct", "("):
+            fields: list[Field] = []
+            while True:
+                fname = self.parser.expect("ident").text
+                ftype = self.parser.next()
+                if ftype.kind != "keyword" or ftype.text not in (
+                        "int", "float", "str", "bool", "any"):
+                    raise QueryLanguageError(
+                        f"bad field type {ftype.text!r} at position {ftype.pos}"
+                    )
+                fields.append(Field(fname, ftype.text))
+                if not self.parser.accept("punct", ","):
+                    break
+            self.parser.expect("punct", ")")
+            schema = Schema(tuple(fields), name=name)
+        kind = TimestampKind.INTERNAL
+        if self.parser.accept("keyword", "timestamp"):
+            kind_token = self.parser.next()
+            if kind_token.text not in _TIMESTAMP_KINDS:
+                raise QueryLanguageError(
+                    f"unknown timestamp kind {kind_token.text!r}"
+                )
+            kind = _TIMESTAMP_KINDS[kind_token.text]
+        out_of_order = bool(self.parser.accept("keyword", "unordered"))
+        self._end_statement()
+        source = self.query.graph.add_source(name, kind,
+                                             out_of_order=out_of_order,
+                                             output_schema=schema)
+        self.query.sources[name] = source
+        self._bind(name, source)
+
+    def _sink_stmt(self) -> None:
+        self.parser.expect("keyword", "sink")
+        stream = self.parser.expect("ident").text
+        sink_name = stream
+        if self.parser.accept("keyword", "as"):
+            sink_name = self.parser.expect("ident").text
+        self._end_statement()
+        upstream = self._resolve(stream)
+        sink = self.query.graph.add_sink(f"sink_{sink_name}")
+        self.query.graph.connect(upstream, sink)
+        self.query.sinks[sink_name] = sink
+
+    def _assignment(self) -> None:
+        name = self.parser.expect("ident").text
+        self.parser.expect("op", "=")
+        head = self.parser.peek()
+        if head is None:
+            raise QueryLanguageError("unexpected end of input after '='")
+        if head.is_kw("select"):
+            op = self._select_stmt()
+        elif head.is_kw("union"):
+            op = self._union_stmt()
+        elif head.is_kw("join"):
+            op = self._join_stmt()
+        elif head.is_kw("aggregate"):
+            op = self._aggregate_stmt()
+        elif head.is_kw("reorder"):
+            op = self._reorder_stmt()
+        else:
+            raise QueryLanguageError(
+                "expected SELECT/UNION/JOIN/AGGREGATE/REORDER at position "
+                f"{head.pos}"
+            )
+        self._end_statement()
+        self._bind(name, op)
+
+    def _select_stmt(self) -> Operator:
+        self.parser.expect("keyword", "select")
+        fields: list[str] | None
+        if self.parser.accept("op", "*"):
+            fields = None
+        else:
+            fields = [self.parser.expect("ident").text]
+            while self.parser.accept("punct", ","):
+                fields.append(self.parser.expect("ident").text)
+        self.parser.expect("keyword", "from")
+        upstream = self._resolve(self.parser.expect("ident").text)
+        predicate: Evaluator | None = None
+        if self.parser.accept("keyword", "where"):
+            predicate = self.parser.parse_expression()
+        current = upstream
+        if predicate is not None:
+            select = Select(self._fresh("select"), predicate)
+            self.query.graph.add(select)
+            self.query.graph.connect(current, select)
+            current = select
+        if fields is not None:
+            project = Project(self._fresh("project"), fields)
+            self.query.graph.add(project)
+            self.query.graph.connect(current, project)
+            current = project
+        if current is upstream:
+            # SELECT * FROM s with no WHERE: identity projection keeps the
+            # assignment a distinct named stream without copying payloads.
+            identity = Select(self._fresh("select"), lambda payload: True)
+            self.query.graph.add(identity)
+            self.query.graph.connect(current, identity)
+            current = identity
+        return current
+
+    def _union_stmt(self) -> Operator:
+        self.parser.expect("keyword", "union")
+        inputs = [self._resolve(self.parser.expect("ident").text)]
+        while self.parser.accept("punct", ","):
+            inputs.append(self._resolve(self.parser.expect("ident").text))
+        if len(inputs) < 2:
+            raise QueryLanguageError("UNION needs at least two streams")
+        union = Union(self._fresh("union"))
+        self.query.graph.add(union)
+        for upstream in inputs:
+            self.query.graph.connect(upstream, union)
+        return union
+
+    def _join_stmt(self) -> Operator:
+        self.parser.expect("keyword", "join")
+        left = self._resolve(self.parser.expect("ident").text)
+        self.parser.expect("punct", ",")
+        right = self._resolve(self.parser.expect("ident").text)
+        self.parser.expect("keyword", "window")
+        width = self._parse_duration()
+        predicate = None
+        if self.parser.accept("keyword", "on"):
+            expr = self.parser.parse_expression()
+            predicate = (lambda e: lambda lp, rp: bool(
+                e({"left": lp, "right": rp})))(expr)
+        join = WindowJoin(self._fresh("join"), WindowSpec.time(width),
+                          predicate=predicate)
+        self.query.graph.add(join)
+        self.query.graph.connect(left, join)
+        self.query.graph.connect(right, join)
+        return join
+
+    def _reorder_stmt(self) -> Operator:
+        self.parser.expect("keyword", "reorder")
+        upstream = self._resolve(self.parser.expect("ident").text)
+        self.parser.expect("keyword", "slack")
+        slack = self._parse_duration()
+        late = "drop"
+        if self.parser.accept("keyword", "late"):
+            token = self.parser.next()
+            if token.is_kw("drop"):
+                late = "drop"
+            elif token.is_kw("error"):
+                late = "error"
+            else:
+                raise QueryLanguageError(
+                    f"LATE must be DROP or ERROR, got {token.text!r}"
+                )
+        reorder = Reorder(self._fresh("reorder"), slack, late=late)
+        self.query.graph.add(reorder)
+        self.query.graph.connect(upstream, reorder)
+        return reorder
+
+    def _aggregate_stmt(self) -> Operator:
+        self.parser.expect("keyword", "aggregate")
+        upstream = self._resolve(self.parser.expect("ident").text)
+        self.parser.expect("keyword", "window")
+        width = self._parse_duration()
+        group_by = None
+        if self.parser.accept("keyword", "group"):
+            self.parser.expect("keyword", "by")
+            group_by = self.parser.expect("ident").text
+        self.parser.expect("keyword", "compute")
+        aggs: dict[str, AggSpec] = {}
+        while True:
+            out = self.parser.expect("ident").text
+            self.parser.expect("op", "=")
+            fn_token = self.parser.expect("ident")
+            factory = _AGG_FACTORIES.get(fn_token.text.lower())
+            if factory is None:
+                raise QueryLanguageError(
+                    f"unknown aggregate {fn_token.text!r}; expected one of "
+                    f"{sorted(_AGG_FACTORIES)}"
+                )
+            self.parser.expect("punct", "(")
+            agg_field = None
+            ident = self.parser.accept("ident")
+            if ident is not None:
+                agg_field = ident.text
+            self.parser.expect("punct", ")")
+            aggs[out] = AggSpec(factory, agg_field)
+            if not self.parser.accept("punct", ","):
+                break
+        agg = TumblingAggregate(self._fresh("aggregate"), width, aggs,
+                                group_by=group_by)
+        self.query.graph.add(agg)
+        self.query.graph.connect(upstream, agg)
+        return agg
+
+
+def compile_query(text: str, name: str = "query") -> CompiledQuery:
+    """Compile a program in the mini language to a validated query graph."""
+    tokens = tokenize(text)
+    return _Compiler(tokens, name).compile()

@@ -1,0 +1,277 @@
+"""Tokenizer and expression parser for the mini query language.
+
+The language is a small tribute to Stream Mill's ESL ("a data stream
+language and system designed for power and extensibility", the paper's
+reference [3]).  This module handles the lexical layer and the expression
+grammar used in ``WHERE`` and ``ON`` clauses:
+
+    expr     := or_expr
+    or_expr  := and_expr (OR and_expr)*
+    and_expr := not_expr (AND not_expr)*
+    not_expr := NOT not_expr | comparison
+    comparison := additive ((== | != | < | <= | > | >=) additive)?
+    additive   := multiplicative ((+ | -) multiplicative)*
+    multiplicative := unary ((* | / | %) unary)*
+    unary    := - unary | primary
+    primary  := NUMBER | STRING | TRUE | FALSE | NULL | field | ( expr )
+    field    := IDENT (. IDENT)?
+
+Expressions compile to plain Python closures evaluated against an
+environment mapping — the payload for ``WHERE``, ``{"left": .., "right": ..}``
+for join ``ON`` clauses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..core.errors import QueryLanguageError
+
+__all__ = ["Token", "tokenize", "ExpressionParser", "compile_expression"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|==|!=|<|>|\+|-|\*|/|%|=)
+  | (?P<punct>[(),.;])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {
+    "stream", "timestamp", "internal", "external", "latent",
+    "select", "from", "where", "union", "join", "window", "on",
+    "aggregate", "group", "by", "compute", "sink", "as",
+    "reorder", "slack", "late", "drop", "error", "unordered",
+    "and", "or", "not", "true", "false", "null",
+    "int", "float", "str", "bool", "any",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str  # "number" | "string" | "ident" | "keyword" | "op" | "punct"
+    text: str
+    pos: int
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens; raises on anything unrecognizable."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            snippet = text[pos:pos + 20]
+            raise QueryLanguageError(
+                f"unexpected character at position {pos}: {snippet!r}"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "ident" and value.lower() in KEYWORDS:
+            tokens.append(Token("keyword", value.lower(), match.start()))
+        else:
+            assert kind is not None
+            tokens.append(Token(kind, value, match.start()))
+    return tokens
+
+
+# --------------------------------------------------------------------- #
+# Expression AST (closures all the way down)
+
+Env = Mapping[str, Any]
+Evaluator = Callable[[Env], Any]
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+}
+
+
+class ExpressionParser:
+    """Recursive-descent parser over a token slice.
+
+    The parser object is also used by the statement compiler, which hands it
+    a shared token list and cursor.
+    """
+
+    def __init__(self, tokens: list[Token], start: int = 0) -> None:
+        self.tokens = tokens
+        self.i = start
+
+    # ------------------------------------------------------------------ #
+    # Cursor helpers
+
+    def peek(self) -> Token | None:
+        if self.i < len(self.tokens):
+            return self.tokens[self.i]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise QueryLanguageError("unexpected end of input")
+        self.i += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = f"{kind} {text!r}" if text else kind
+            raise QueryLanguageError(
+                f"expected {want}, got {token.kind} {token.text!r} "
+                f"at position {token.pos}"
+            )
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token is not None and token.kind == kind and (
+                text is None or token.text == text):
+            self.i += 1
+            return token
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Grammar
+
+    def parse_expression(self) -> Evaluator:
+        return self._or()
+
+    def _or(self) -> Evaluator:
+        left = self._and()
+        while self.accept("keyword", "or"):
+            right = self._and()
+            left = (lambda lf, rf: lambda env: bool(lf(env)) or bool(rf(env)))(
+                left, right)
+        return left
+
+    def _and(self) -> Evaluator:
+        left = self._not()
+        while self.accept("keyword", "and"):
+            right = self._not()
+            left = (lambda lf, rf: lambda env: bool(lf(env)) and bool(rf(env)))(
+                left, right)
+        return left
+
+    def _not(self) -> Evaluator:
+        if self.accept("keyword", "not"):
+            inner = self._not()
+            return lambda env: not inner(env)
+        return self._comparison()
+
+    def _comparison(self) -> Evaluator:
+        left = self._additive()
+        token = self.peek()
+        if token is not None and token.kind == "op" and token.text in _COMPARATORS:
+            self.next()
+            cmp_fn = _COMPARATORS[token.text]
+            right = self._additive()
+            return (lambda lf, rf, fn: lambda env: fn(lf(env), rf(env)))(
+                left, right, cmp_fn)
+        if token is not None and token.kind == "op" and token.text == "=":
+            raise QueryLanguageError(
+                f"use '==' for comparison at position {token.pos}"
+            )
+        return left
+
+    def _additive(self) -> Evaluator:
+        left = self._multiplicative()
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "op" or token.text not in "+-":
+                return left
+            self.next()
+            fn = _ARITHMETIC[token.text]
+            right = self._multiplicative()
+            left = (lambda lf, rf, f: lambda env: f(lf(env), rf(env)))(
+                left, right, fn)
+
+    def _multiplicative(self) -> Evaluator:
+        left = self._unary()
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "op" or token.text not in "*/%":
+                return left
+            self.next()
+            fn = _ARITHMETIC[token.text]
+            right = self._unary()
+            left = (lambda lf, rf, f: lambda env: f(lf(env), rf(env)))(
+                left, right, fn)
+
+    def _unary(self) -> Evaluator:
+        token = self.peek()
+        if token is not None and token.kind == "op" and token.text == "-":
+            self.next()
+            inner = self._unary()
+            return lambda env: -inner(env)
+        return self._primary()
+
+    def _primary(self) -> Evaluator:
+        token = self.next()
+        if token.kind == "number":
+            value = float(token.text) if "." in token.text else int(token.text)
+            return lambda env: value
+        if token.kind == "string":
+            raw = token.text[1:-1]
+            text = raw.replace("\\'", "'").replace('\\"', '"')
+            return lambda env: text
+        if token.is_kw("true"):
+            return lambda env: True
+        if token.is_kw("false"):
+            return lambda env: False
+        if token.is_kw("null"):
+            return lambda env: None
+        if token.kind == "punct" and token.text == "(":
+            inner = self.parse_expression()
+            self.expect("punct", ")")
+            return inner
+        if token.kind == "ident":
+            name = token.text
+            if self.accept("punct", "."):
+                attr = self.expect("ident").text
+                return (lambda n, a: lambda env: env[n][a])(name, attr)
+            return (lambda n: lambda env: env[n])(name)
+        raise QueryLanguageError(
+            f"unexpected token {token.text!r} at position {token.pos}"
+        )
+
+
+def compile_expression(text: str) -> Evaluator:
+    """Compile a standalone expression string to an evaluator closure."""
+    tokens = tokenize(text)
+    parser = ExpressionParser(tokens)
+    evaluator = parser.parse_expression()
+    leftover = parser.peek()
+    if leftover is not None:
+        raise QueryLanguageError(
+            f"trailing input after expression: {leftover.text!r} "
+            f"at position {leftover.pos}"
+        )
+    return evaluator

@@ -1,0 +1,16 @@
+"""Discrete-event simulation substrate: clock, events, kernel, cost model."""
+
+from .clock import VirtualClock
+from .cost import DEFAULT_DATA_COSTS, DEFAULT_PUNCT_COSTS, CostModel
+from .events import EventQueue
+from .kernel import Arrival, Simulation
+
+__all__ = [
+    "Arrival",
+    "CostModel",
+    "DEFAULT_DATA_COSTS",
+    "DEFAULT_PUNCT_COSTS",
+    "EventQueue",
+    "Simulation",
+    "VirtualClock",
+]

@@ -1,0 +1,56 @@
+"""Event queue for the discrete-event simulation kernel.
+
+Events are (time, seq, action) triples kept in a binary heap; ``seq`` breaks
+ties deterministically in insertion order, which keeps simultaneous events
+(common with coarse timestamps — paper Section 4.1) reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """A deterministic time-ordered queue of zero-argument actions.
+
+    Actions may return a value; the kernel uses this to learn which source
+    an arrival touched (the engine's wake-up entry hint).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], Any]]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, time: float, action: Callable[[], Any]) -> None:
+        """Enqueue ``action`` to fire at simulated ``time``."""
+        heapq.heappush(self._heap, (time, next(self._seq), action))
+
+    def next_time(self) -> float | None:
+        """Time of the earliest pending event, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop_due(self, now: float) -> tuple[float, Callable[[], Any]] | None:
+        """Remove and return the earliest event with time ≤ ``now``."""
+        if self._heap and self._heap[0][0] <= now:
+            time, _, action = heapq.heappop(self._heap)
+            return time, action
+        return None
+
+    def pop_next(self) -> tuple[float, Callable[[], Any]] | None:
+        """Remove and return the earliest event regardless of time."""
+        if not self._heap:
+            return None
+        time, _, action = heapq.heappop(self._heap)
+        return time, action

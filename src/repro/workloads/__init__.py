@@ -1,0 +1,41 @@
+"""Workloads: arrival processes, payload generators, paper scenarios."""
+
+from .arrival import (
+    bursty_arrivals,
+    constant_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+    with_external_timestamps,
+    with_out_of_order_timestamps,
+)
+from .datagen import (
+    packet_payloads,
+    sensor_payloads,
+    sequence_payloads,
+    uniform_value_payloads,
+)
+from .scenarios import (
+    SCENARIOS,
+    ScenarioConfig,
+    ScenarioHandles,
+    build_join_scenario,
+    build_union_scenario,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioConfig",
+    "ScenarioHandles",
+    "build_join_scenario",
+    "build_union_scenario",
+    "bursty_arrivals",
+    "constant_arrivals",
+    "packet_payloads",
+    "poisson_arrivals",
+    "sensor_payloads",
+    "sequence_payloads",
+    "trace_arrivals",
+    "uniform_value_payloads",
+    "with_external_timestamps",
+    "with_out_of_order_timestamps",
+]

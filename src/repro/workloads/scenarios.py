@@ -1,0 +1,235 @@
+"""The paper's experimental setups, packaged as reusable builders.
+
+Section 6 of the paper evaluates one query graph (its Fig. 4): two input
+streams, each filtered by a selection with 95 % selectivity, merged by a
+union, delivered to a sink.  Stream 1 averages 50 tuples/s, stream 2 only
+0.05 tuples/s — the rate diversity that makes the fast stream's tuples
+idle-wait at the union.
+
+Four scenarios are compared:
+
+====  ===========================  =======================================
+name  timestamps                   ETS
+====  ===========================  =======================================
+A     internal                     none
+B     internal                     periodic heartbeats on the sparse stream
+C     internal                     on-demand (engine Backtrack hook)
+D     latent                       n/a (latent streams never idle-wait)
+====  ===========================  =======================================
+
+:func:`build_union_scenario` assembles graph + simulation + metrics for a
+scenario; :func:`build_join_scenario` does the same with a window join in
+place of the union (extension bench X2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.ets import EtsPolicy, NoEts, OnDemandEts, PeriodicEtsSchedule
+from ..core.errors import WorkloadError
+from ..core.graph import QueryGraph
+from ..core.operators import Select, SinkNode, SourceNode, Union, WindowJoin
+from ..core.tuples import TimestampKind
+from ..core.windows import WindowSpec
+from ..metrics.latency import LatencyRecorder
+from ..sim.cost import CostModel
+from ..sim.kernel import Simulation
+from .arrival import poisson_arrivals, with_external_timestamps
+from .datagen import uniform_value_payloads
+
+__all__ = ["SCENARIOS", "ScenarioConfig", "ScenarioHandles",
+           "build_union_scenario", "build_join_scenario"]
+
+#: The scenario labels of paper Section 6.
+SCENARIOS = ("A", "B", "C", "D")
+
+
+@dataclass(slots=True)
+class ScenarioConfig:
+    """Everything that parameterizes one run of the paper's experiment.
+
+    Attributes:
+        scenario: One of ``"A"``, ``"B"``, ``"C"``, ``"D"``.
+        rate_fast / rate_slow: Poisson arrival rates (tuples per second).
+        selectivity: Fraction of tuples the selections pass (paper: 0.95).
+        heartbeat_rate: Periodic-ETS injection rate on the sparse stream;
+            required for scenario B, ignored otherwise.
+        heartbeat_both: Also punctuate the fast stream in scenario B.
+        duration: Simulated seconds to run.
+        seed: Workload RNG seed.
+        strict_iwp: Use the original Fig.-1 gating in the IWP operator
+            (X1 ablation).
+        external: Use externally timestamped streams plus the skew-bound
+            ETS generator (X3 bench); ``external_skew`` is the workload's
+            max timestamp lag and ``ets_delta`` the generator's bound.
+        cost_model: CPU pricing; None selects the calibrated default.
+        engine_cls / engine_kwargs: Alternative execution engine (e.g.
+            :class:`~repro.core.scheduling.RoundRobinEngine`) for the X4
+            scheduling ablation; None selects the paper's DFS engine.
+    """
+
+    scenario: str = "C"
+    rate_fast: float = 50.0
+    rate_slow: float = 0.05
+    selectivity: float = 0.95
+    heartbeat_rate: float | None = None
+    heartbeat_both: bool = False
+    duration: float = 600.0
+    seed: int = 42
+    strict_iwp: bool = False
+    external: bool = False
+    external_skew: float = 0.0
+    ets_delta: float = 0.0
+    offer_ets_always: bool = False
+    cost_model: CostModel | None = None
+    engine_cls: type | None = None
+    engine_kwargs: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise WorkloadError(
+                f"unknown scenario {self.scenario!r}; expected one of "
+                f"{SCENARIOS}"
+            )
+        if self.scenario == "B" and not self.heartbeat_rate:
+            raise WorkloadError("scenario B requires heartbeat_rate")
+        if self.external and self.scenario == "D":
+            raise WorkloadError("scenario D (latent) cannot be external")
+
+    @property
+    def timestamp_kind(self) -> TimestampKind:
+        if self.scenario == "D":
+            return TimestampKind.LATENT
+        if self.external:
+            return TimestampKind.EXTERNAL
+        return TimestampKind.INTERNAL
+
+    def make_policy(self) -> EtsPolicy:
+        if self.scenario == "C":
+            return OnDemandEts(external_delta=self.ets_delta)
+        return NoEts()
+
+    def make_periodic(self, slow_name: str,
+                      fast_name: str) -> PeriodicEtsSchedule | None:
+        if self.scenario != "B":
+            return None
+        rates = {slow_name: float(self.heartbeat_rate)}
+        if self.heartbeat_both:
+            rates[fast_name] = float(self.heartbeat_rate)
+        return PeriodicEtsSchedule(rates)
+
+
+@dataclass(slots=True)
+class ScenarioHandles:
+    """The live objects of a built scenario, ready to run and inspect."""
+
+    config: ScenarioConfig
+    sim: Simulation
+    graph: QueryGraph
+    fast_source: SourceNode
+    slow_source: SourceNode
+    iwp: Union | WindowJoin
+    sink: SinkNode
+    recorder: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    def run(self) -> "ScenarioHandles":
+        """Run the configured duration; returns self for chaining."""
+        self.sim.run(until=self.config.duration)
+        return self
+
+
+def _attach_streams(sim: Simulation, config: ScenarioConfig,
+                    fast: SourceNode, slow: SourceNode) -> None:
+    rng_fast = random.Random(config.seed)
+    rng_slow = random.Random(config.seed + 1)
+    fast_arrivals = poisson_arrivals(
+        config.rate_fast, rng_fast,
+        payloads=uniform_value_payloads(random.Random(config.seed + 2)))
+    slow_arrivals = poisson_arrivals(
+        config.rate_slow, rng_slow,
+        payloads=uniform_value_payloads(random.Random(config.seed + 3)))
+    if config.external:
+        skew_rng_fast = random.Random(config.seed + 4)
+        skew_rng_slow = random.Random(config.seed + 5)
+        fast_arrivals = with_external_timestamps(
+            fast_arrivals, skew_rng_fast, max_skew=config.external_skew)
+        slow_arrivals = with_external_timestamps(
+            slow_arrivals, skew_rng_slow, max_skew=config.external_skew)
+    sim.attach_arrivals(fast, fast_arrivals)
+    sim.attach_arrivals(slow, slow_arrivals)
+
+
+def _make_simulation(config: ScenarioConfig, graph: QueryGraph,
+                     slow: SourceNode, fast: SourceNode) -> Simulation:
+    kwargs = {}
+    if config.engine_cls is not None:
+        kwargs["engine_cls"] = config.engine_cls
+    if config.engine_kwargs is not None:
+        kwargs["engine_kwargs"] = config.engine_kwargs
+    return Simulation(
+        graph,
+        ets_policy=config.make_policy(),
+        periodic=config.make_periodic(slow.name, fast.name),
+        cost_model=config.cost_model,
+        offer_ets_always=config.offer_ets_always,
+        **kwargs,
+    )
+
+
+def build_union_scenario(config: ScenarioConfig) -> ScenarioHandles:
+    """Assemble the paper's Fig.-4 union query under ``config``."""
+    recorder = LatencyRecorder()
+    graph = QueryGraph(f"paper-union-{config.scenario}")
+    fast = graph.add_source("fast", config.timestamp_kind)
+    slow = graph.add_source("slow", config.timestamp_kind)
+    sel = config.selectivity
+    f1 = graph.add(Select("filter_fast", lambda p: p["value"] < sel))
+    f2 = graph.add(Select("filter_slow", lambda p: p["value"] < sel))
+    union = graph.add(Union("union", strict=config.strict_iwp))
+    sink = graph.add_sink("sink", on_output=recorder)
+    graph.connect(fast, f1)
+    graph.connect(slow, f2)
+    graph.connect(f1, union)
+    graph.connect(f2, union)
+    graph.connect(union, sink)
+
+    sim = _make_simulation(config, graph, slow, fast)
+    _attach_streams(sim, config, fast, slow)
+    return ScenarioHandles(config=config, sim=sim, graph=graph,
+                           fast_source=fast, slow_source=slow,
+                           iwp=union, sink=sink, recorder=recorder)
+
+
+def build_join_scenario(config: ScenarioConfig, *,
+                        window_seconds: float = 60.0) -> ScenarioHandles:
+    """Same skewed-streams setup with a window join as the IWP operator.
+
+    The join matches tuples whose ``value`` fields fall in the same decile,
+    keeping output volume moderate at the paper's rates.
+    """
+    recorder = LatencyRecorder()
+    graph = QueryGraph(f"paper-join-{config.scenario}")
+    fast = graph.add_source("fast", config.timestamp_kind)
+    slow = graph.add_source("slow", config.timestamp_kind)
+    sel = config.selectivity
+    f1 = graph.add(Select("filter_fast", lambda p: p["value"] < sel))
+    f2 = graph.add(Select("filter_slow", lambda p: p["value"] < sel))
+    join = graph.add(WindowJoin(
+        "join", WindowSpec.time(window_seconds),
+        predicate=lambda a, b: int(a["value"] * 10) == int(b["value"] * 10),
+        strict=config.strict_iwp,
+    ))
+    sink = graph.add_sink("sink", on_output=recorder)
+    graph.connect(fast, f1)
+    graph.connect(slow, f2)
+    graph.connect(f1, join)
+    graph.connect(f2, join)
+    graph.connect(join, sink)
+
+    sim = _make_simulation(config, graph, slow, fast)
+    _attach_streams(sim, config, fast, slow)
+    return ScenarioHandles(config=config, sim=sim, graph=graph,
+                           fast_source=fast, slow_source=slow,
+                           iwp=join, sink=sink, recorder=recorder)

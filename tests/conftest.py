@@ -1,0 +1,116 @@
+"""Shared fixtures and harnesses for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.buffers import BufferRegistry, StreamBuffer
+from repro.core.operators.base import OpContext, Operator
+from repro.core.tuples import DataTuple, Punctuation, TimestampKind
+from repro.sim.clock import VirtualClock
+
+
+class ManualClock:
+    """A clock whose time the test sets directly."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.t = start
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> float:
+        self.t += dt
+        return self.t
+
+    def advance_to(self, t: float) -> float:
+        self.t = max(self.t, t)
+        return self.t
+
+
+class OpHarness:
+    """Drive one operator without the engine: wire buffers, feed, collect.
+
+    The harness attaches ``n_inputs`` input buffers and one output buffer to
+    ``op`` and exposes helpers to push data/punctuation and to run execution
+    steps while the operator's ``more`` condition holds.
+    """
+
+    def __init__(self, op: Operator, n_inputs: int = 1,
+                 clock: ManualClock | None = None) -> None:
+        self.op = op
+        self.clock = clock if clock is not None else ManualClock()
+        self.ctx = OpContext(clock=self.clock)
+        self.registry = BufferRegistry()
+        self.inputs = []
+        for i in range(n_inputs):
+            buf = StreamBuffer(f"in{i}->{op.name}", self.registry)
+            op.attach_input(buf, producer=None)
+            self.inputs.append(buf)
+        self.output = StreamBuffer(f"{op.name}->out", self.registry)
+        op.attach_output(self.output, consumer=None)
+
+    # ------------------------------------------------------------------ #
+
+    def feed(self, input_idx: int, ts: float, payload=None,
+             kind: TimestampKind = TimestampKind.INTERNAL,
+             arrival_ts: float | None = None) -> DataTuple:
+        tup = DataTuple(ts=ts, payload=payload, kind=kind,
+                        arrival_ts=arrival_ts if arrival_ts is not None else ts)
+        self.inputs[input_idx].push(tup)
+        return tup
+
+    def feed_punctuation(self, input_idx: int, ts: float,
+                         periodic: bool = False) -> Punctuation:
+        punct = Punctuation(ts=ts, origin="test", periodic=periodic)
+        self.inputs[input_idx].push(punct)
+        return punct
+
+    def step(self):
+        """One execution step (caller guarantees ``more``)."""
+        return self.op.execute_step(self.ctx)
+
+    def run(self, max_steps: int = 10_000) -> int:
+        """Step while ``more`` holds; returns the number of steps taken."""
+        steps = 0
+        while self.op.more():
+            self.op.execute_step(self.ctx)
+            steps += 1
+            if steps >= max_steps:
+                raise AssertionError("operator did not quiesce")
+        return steps
+
+    def drain_output(self) -> list:
+        out = []
+        while self.output:
+            out.append(self.output.pop())
+        return out
+
+    def output_data(self) -> list[DataTuple]:
+        return [e for e in self.drain_output() if not e.is_punctuation]
+
+
+@pytest.fixture
+def manual_clock() -> ManualClock:
+    return ManualClock()
+
+
+@pytest.fixture
+def virtual_clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def registry() -> BufferRegistry:
+    return BufferRegistry()
+
+
+def data(ts: float, payload=None, arrival: float | None = None) -> DataTuple:
+    """Shorthand data-tuple constructor used across test modules."""
+    return DataTuple(ts=ts, payload=payload,
+                     arrival_ts=arrival if arrival is not None else ts)
+
+
+def punct(ts: float, periodic: bool = False) -> Punctuation:
+    """Shorthand punctuation constructor."""
+    return Punctuation(ts=ts, origin="test", periodic=periodic)

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST_ARGS = ["--duration", "6", "--rate-fast", "20", "--rate-slow", "0.5"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_args(self):
+        args = build_parser().parse_args(
+            ["scenario", "B", "--heartbeat-rate", "10"])
+        assert args.name == "B" and args.heartbeat_rate == 10.0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "Z"])
+
+
+class TestScenarioCommand:
+    def test_scenario_c(self, capsys):
+        assert main(["scenario", "C", *FAST_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "mean latency" in out
+        assert "ETS injected" in out
+
+    def test_scenario_b_without_rate_fails_cleanly(self, capsys):
+        assert main(["scenario", "B", *FAST_ARGS]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_scenario_join_variant(self, capsys):
+        assert main(["scenario", "D", "--join", *FAST_ARGS]) == 0
+        assert "scenario" in capsys.readouterr().out
+
+    def test_scenario_strict_flag(self, capsys):
+        assert main(["scenario", "A", "--strict", *FAST_ARGS]) == 0
+
+
+class TestFigureCommand:
+    def test_figure_7(self, capsys):
+        code = main(["figure", "7", "--duration", "6",
+                     "--sweep-duration", "4", "--rates", "1,20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "line B" in out
+
+    def test_figure_8(self, capsys):
+        code = main(["figure", "8", "--duration", "6",
+                     "--sweep-duration", "4", "--rates", "1,20"])
+        assert code == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+
+class TestIdleCommand:
+    def test_idle_table(self, capsys):
+        code = main(["idle", "--duration", "6", "--heartbeat-rate", "20"])
+        assert code == 0
+        assert "Idle-waiting" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    PROGRAM = """
+    STREAM fast (seq int, value float);
+    STREAM slow (seq int, value float);
+    s1 = SELECT * FROM fast WHERE value < 0.9;
+    s2 = SELECT * FROM slow WHERE value < 0.9;
+    merged = UNION s1, s2;
+    SINK merged AS out;
+    """
+
+    @pytest.fixture
+    def program_file(self, tmp_path):
+        path = tmp_path / "query.esl"
+        path.write_text(self.PROGRAM)
+        return str(path)
+
+    def test_run_program(self, program_file, capsys):
+        code = main(["run", program_file, "--until", "10",
+                     "--source", "fast:poisson:20",
+                     "--source", "slow:constant:0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "out" in out and "ETS injected" in out
+
+    def test_run_with_heartbeats(self, program_file, capsys):
+        code = main(["run", program_file, "--until", "10",
+                     "--source", "fast:poisson:20",
+                     "--source", "slow:constant:0.5",
+                     "--ets", "none", "--heartbeat", "slow:10"])
+        assert code == 0
+
+    def test_bad_source_spec(self, program_file, capsys):
+        code = main(["run", program_file, "--until", "5",
+                     "--source", "fast=poisson=20"])
+        assert code == 2
+        assert "NAME:KIND:RATE" in capsys.readouterr().err
+
+    def test_unknown_stream(self, program_file, capsys):
+        code = main(["run", program_file, "--until", "5",
+                     "--source", "nope:poisson:1"])
+        assert code == 2
+
+    def test_missing_file(self, capsys):
+        code = main(["run", "/does/not/exist.esl", "--until", "5"])
+        assert code == 2
+
+
+class TestProfileCommand:
+    def test_profile_scenario(self, capsys):
+        code = main(["profile", "C", "--duration", "6",
+                     "--rate-fast", "20", "--rate-slow", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "operator profile" in out
+        assert "union" in out and "idle-waiting" in out
+
+
+class TestDotCommand:
+    def test_dot_output(self, tmp_path, capsys):
+        path = tmp_path / "q.esl"
+        path.write_text("""
+            STREAM a; STREAM b;
+            m = UNION a, b;
+            SINK m;
+        """)
+        assert main(["dot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "doublecircle" in out  # the union
+
+    def test_dot_missing_file(self, capsys):
+        assert main(["dot", "/no/such/file.esl"]) == 2

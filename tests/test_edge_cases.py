@@ -1,0 +1,159 @@
+"""Edge cases and failure injection across the engine and kernel."""
+
+import pytest
+
+from repro.core.ets import NoEts, OnDemandEts
+from repro.core.graph import QueryGraph
+from repro.core.operators import Map, Select, Union
+from repro.sim.cost import CostModel
+from repro.sim.kernel import Arrival, Simulation
+
+
+def path_graph(transform=None):
+    g = QueryGraph("edge")
+    src = g.add_source("src")
+    op = g.add(Map("op", transform or (lambda p: p)))
+    sink = g.add_sink("sink", keep_outputs=True)
+    g.connect(src, op)
+    g.connect(op, sink)
+    return g, src, sink
+
+
+class TestFailureInjection:
+    def test_operator_exception_propagates(self):
+        def boom(payload):
+            if payload["v"] == 2:
+                raise RuntimeError("user function failed")
+            return payload
+
+        g, src, sink = path_graph(boom)
+        sim = Simulation(g, cost_model=CostModel.zero())
+        sim.attach_arrivals(src, iter(
+            Arrival(float(i), {"v": i}) for i in (1, 2, 3)))
+        with pytest.raises(RuntimeError, match="user function failed"):
+            sim.run(until=10.0)
+
+    def test_state_consistent_after_failure(self):
+        """The failing tuple was consumed; the registry never goes negative
+        and the run can be diagnosed from consistent counters."""
+        def boom(payload):
+            if payload["v"] == 2:
+                raise RuntimeError("boom")
+            return payload
+
+        g, src, sink = path_graph(boom)
+        sim = Simulation(g, cost_model=CostModel.zero())
+        sim.attach_arrivals(src, iter(
+            Arrival(float(i), {"v": i}) for i in (1, 2, 3)))
+        with pytest.raises(RuntimeError):
+            sim.run(until=10.0)
+        assert g.registry.total >= 0
+        assert sink.delivered == 1  # the tuple before the failure made it
+
+    def test_bad_payload_type_surfaces_clearly(self):
+        from repro.core.errors import SchemaError
+        from repro.core.operators import Project
+        g = QueryGraph("bad")
+        src = g.add_source("src")
+        proj = g.add(Project("proj", ["a"]))
+        sink = g.add_sink("sink")
+        g.connect(src, proj)
+        g.connect(proj, sink)
+        sim = Simulation(g, cost_model=CostModel.zero())
+        sim.attach_arrivals(src, iter([Arrival(1.0, "not a mapping")]))
+        with pytest.raises(SchemaError):
+            sim.run(until=5.0)
+
+
+class TestIncrementalRuns:
+    def test_chunked_run_equals_single_run(self):
+        def run(chunks):
+            g, src, sink = path_graph()
+            sim = Simulation(g)  # default cost model: real queueing
+            sim.attach_arrivals(src, iter(
+                Arrival(0.37 * i + 0.1, {"v": i}) for i in range(40)))
+            for until in chunks:
+                sim.run(until=until)
+            return [(t.ts, t.payload["v"]) for t in sink.outputs_seen]
+
+        single = run([20.0])
+        chunked = run([1.0, 2.5, 7.0, 13.0, 20.0])
+        assert single == chunked
+
+    def test_repeated_run_to_same_time_is_noop(self):
+        g, src, sink = path_graph()
+        sim = Simulation(g, cost_model=CostModel.zero())
+        sim.attach_arrivals(src, iter([Arrival(1.0, {"v": 1})]))
+        sim.run(until=5.0)
+        delivered = sink.delivered
+        sim.run(until=5.0)
+        assert sink.delivered == delivered
+
+
+class TestSchedulingOverheadAccounting:
+    def test_wakeup_charges_scheduling_overhead(self):
+        g, src, sink = path_graph()
+        model = CostModel.zero()
+        model.scheduling_overhead = 1e-3
+        sim = Simulation(g, cost_model=model)
+        sim.attach_arrivals(src, iter([Arrival(1.0, {"v": 1})]))
+        sim.run(until=5.0)
+        # at least the arrival wakeup and the final drain charged overhead
+        assert sim.clock.now() >= 5.0
+
+
+class TestMixedElementsAtUnion:
+    def test_punctuation_then_data_same_wakeup(self):
+        g = QueryGraph("mix")
+        a = g.add_source("a")
+        b = g.add_source("b")
+        u = g.add(Union("u"))
+        sink = g.add_sink("sink", keep_outputs=True)
+        g.connect(a, u)
+        g.connect(b, u)
+        g.connect(u, sink)
+        sim = Simulation(g, ets_policy=NoEts(), cost_model=CostModel.zero())
+        # b sends only punctuation (e.g. a quiet instrumented stream)
+        sim.schedule_arrival(a, Arrival(1.0, {"v": 1}))
+        b.inject_punctuation(0.5)
+        sim.run(until=2.0)
+        sim.schedule_arrival(a, Arrival(3.0, {"v": 2}))
+        b.inject_punctuation(5.0)
+        sim.run(until=6.0)
+        assert [t.payload["v"] for t in sink.outputs_seen] == [1, 2]
+
+    def test_union_of_selects_with_everything_filtered(self):
+        """A filter that drops everything still transmits progress via ETS."""
+        g = QueryGraph("drop")
+        a = g.add_source("a")
+        b = g.add_source("b")
+        drop = g.add(Select("drop", lambda p: False))
+        keep = g.add(Select("keep", lambda p: True))
+        u = g.add(Union("u"))
+        sink = g.add_sink("sink")
+        g.connect(a, drop)
+        g.connect(b, keep)
+        g.connect(drop, u)
+        g.connect(keep, u)
+        g.connect(u, sink)
+        sim = Simulation(g, ets_policy=OnDemandEts(),
+                         cost_model=CostModel.zero())
+        sim.attach_arrivals(a, iter(Arrival(float(t), {})
+                                    for t in range(1, 5)))
+        sim.attach_arrivals(b, iter(Arrival(float(t) + 0.5, {})
+                                    for t in range(1, 5)))
+        sim.run(until=10.0)
+        assert sink.delivered == 4  # every b tuple, none stuck
+
+
+class TestSimultaneousArrivalDeterminism:
+    def test_same_instant_events_fire_in_insertion_order(self):
+        g = QueryGraph("simul")
+        src = g.add_source("src")
+        sink = g.add_sink("sink", keep_outputs=True)
+        g.connect(src, sink)
+        sim = Simulation(g, cost_model=CostModel.zero())
+        for i in range(5):
+            sim.schedule_arrival(src, Arrival(1.0, {"v": i}))
+        sim.run(until=2.0)
+        assert [t.payload["v"] for t in sink.outputs_seen] == list(range(5))

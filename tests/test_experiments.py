@@ -1,0 +1,105 @@
+"""Tests for the experiment harness (runner + figure regeneration)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    SweepResult,
+    format_figure7,
+    format_figure8,
+    format_idle_table,
+    idle_waiting_table,
+    run_sweep,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_join_experiment,
+    run_union_experiment,
+)
+from repro.workloads.scenarios import ScenarioConfig
+
+FAST = dict(duration=8.0, rate_fast=20.0, rate_slow=0.25, seed=11)
+
+
+class TestRunner:
+    def test_result_fields_populated(self):
+        res = run_union_experiment(ScenarioConfig(scenario="C", **FAST))
+        assert isinstance(res, ExperimentResult)
+        assert res.scenario == "C"
+        assert res.delivered > 0
+        assert res.mean_latency > 0
+        assert res.peak_queue >= 1
+        assert 0.0 <= res.idle_fraction <= 1.0
+        assert res.engine_steps == res.data_steps + res.punct_steps
+        assert res.ets_injected > 0
+
+    def test_heartbeat_rate_recorded_only_for_b(self):
+        res_b = run_union_experiment(
+            ScenarioConfig(scenario="B", heartbeat_rate=5.0, **FAST))
+        res_c = run_union_experiment(ScenarioConfig(scenario="C", **FAST))
+        assert res_b.heartbeat_rate == 5.0
+        assert res_c.heartbeat_rate is None
+
+    def test_row_shape(self):
+        res = run_union_experiment(ScenarioConfig(scenario="C", **FAST))
+        assert len(res.as_row()) == len(ExperimentResult.row_headers())
+
+    def test_join_runner(self):
+        res = run_join_experiment(ScenarioConfig(scenario="C", **FAST),
+                                  window_seconds=5.0)
+        assert res.delivered >= 0
+        assert res.engine_steps > 0
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self) -> SweepResult:
+        return run_sweep(duration=8.0, sweep_duration=4.0, seed=11,
+                         rate_fast=20.0, rate_slow=0.25,
+                         heartbeat_rates=(1.0, 20.0))
+
+    def test_baselines_present(self, sweep):
+        assert set(sweep.baselines) == {"A", "C", "D"}
+
+    def test_periodic_rates_present(self, sweep):
+        assert set(sweep.periodic) == {1.0, 20.0}
+
+    def test_paper_shape_a_much_worse_than_c(self, sweep):
+        assert sweep.baselines["A"].mean_latency > \
+            50 * sweep.baselines["C"].mean_latency
+
+    def test_paper_shape_c_close_to_d(self, sweep):
+        gap = sweep.baselines["C"].mean_latency - \
+            sweep.baselines["D"].mean_latency
+        assert 0 <= gap < 5e-3  # within a few ms even at tiny durations
+
+    def test_paper_shape_b_improves_with_rate(self, sweep):
+        assert sweep.periodic[20.0].mean_latency < \
+            sweep.periodic[1.0].mean_latency
+
+    def test_memory_shape(self, sweep):
+        assert sweep.baselines["A"].peak_queue > \
+            sweep.baselines["C"].peak_queue
+
+    def test_series_accessors(self, sweep):
+        lat = sweep.latency_series()
+        peak = sweep.peak_series()
+        assert [r for r, _ in lat] == [1.0, 20.0]
+        assert all(isinstance(v, float) for _, v in peak)
+
+    def test_formatters_render(self, sweep):
+        fig7 = format_figure7(sweep)
+        fig8 = format_figure8(sweep)
+        assert "Figure 7" in fig7 and "line B" in fig7
+        assert "Figure 8" in fig8 and "peak queue" in fig8
+
+
+class TestIdleTable:
+    def test_idle_table_shape(self):
+        results = idle_waiting_table(duration=8.0, seed=11,
+                                     rate_fast=20.0, rate_slow=0.25,
+                                     heartbeat_rate=20.0)
+        assert set(results) == {"A", "B", "C"}
+        assert results["A"].idle_fraction > results["B"].idle_fraction \
+            > results["C"].idle_fraction
+        text = format_idle_table(results)
+        assert "Idle-waiting" in text

@@ -1,0 +1,114 @@
+"""Tests for trace capture/replay and CSV result logging."""
+
+import io
+import itertools
+import random
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.io import (
+    CsvSinkWriter,
+    read_trace,
+    trace_from_string,
+    trace_to_string,
+    write_trace,
+)
+from repro.query.builder import Query
+from repro.sim.cost import CostModel
+from repro.sim.kernel import Arrival, Simulation
+from repro.workloads.arrival import poisson_arrivals, with_external_timestamps
+
+
+class TestTraceRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        arrivals = [
+            Arrival(1.0, {"v": 1}),
+            Arrival(2.5, {"v": 2, "s": "x"}, external_ts=2.25),
+            Arrival(2.5, [1, 2, 3]),
+            Arrival(3.0, None),
+        ]
+        text = trace_to_string(arrivals)
+        replayed = list(trace_from_string(text))
+        assert [(a.time, a.payload, a.external_ts) for a in replayed] == \
+            [(a.time, a.payload, a.external_ts) for a in arrivals]
+
+    def test_float_precision_exact(self):
+        """repr round-trips floats bit-exactly — replay must be identical."""
+        arrivals = [Arrival(0.1 + 0.2, {"x": 1 / 3})]
+        replayed = list(trace_from_string(trace_to_string(arrivals)))
+        assert replayed[0].time == 0.1 + 0.2
+        assert replayed[0].payload["x"] == 1 / 3
+
+    def test_random_process_capture(self):
+        base = poisson_arrivals(10.0, random.Random(1))
+        stamped = with_external_timestamps(base, random.Random(2),
+                                           max_skew=0.1)
+        captured = list(itertools.islice(stamped, 100))
+        replayed = list(trace_from_string(trace_to_string(captured)))
+        assert [a.time for a in replayed] == [a.time for a in captured]
+        assert [a.external_ts for a in replayed] == \
+            [a.external_ts for a in captured]
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(WorkloadError, match="header"):
+            list(read_trace(io.StringIO("a,b,c\n1,2,3\n")))
+
+    def test_bad_row_rejected(self):
+        text = "time,external_ts,payload\n1.0,,{}\n1.0,oops\n"
+        with pytest.raises(WorkloadError, match="line 3"):
+            list(read_trace(io.StringIO(text)))
+
+    def test_write_returns_count(self):
+        buf = io.StringIO()
+        assert write_trace([Arrival(1.0, {})], buf) == 1
+
+
+class TestReplayIntoSimulation:
+    def test_replayed_trace_drives_identical_run(self):
+        def run(arrivals):
+            q = Query("replay")
+            s = q.source("s")
+            sink = s.select(lambda p: p["v"] % 2 == 0).sink(
+                "out", keep_outputs=True)
+            graph = q.build()
+            sim = Simulation(graph, cost_model=CostModel.zero())
+            sim.attach_arrivals(s.source_node, iter(arrivals))
+            sim.run(until=100.0)
+            return [(t.ts, t.payload["v"]) for t in sink.outputs_seen]
+
+        original = [Arrival(float(i) + 0.5, {"v": i}) for i in range(20)]
+        replayed = list(trace_from_string(trace_to_string(original)))
+        assert run(original) == run(replayed)
+
+
+class TestCsvSinkWriter:
+    def run_with_writer(self, writer):
+        q = Query("csv")
+        s = q.source("s")
+        q2 = s.sink("out", on_output=writer)
+        graph = q.build()
+        sim = Simulation(graph, cost_model=CostModel.zero())
+        sim.attach_arrivals(s.source_node, iter(
+            Arrival(float(i) + 1.0, {"a": i, "b": f"x{i}"})
+            for i in range(3)))
+        sim.run(until=10.0)
+
+    def test_json_payload_column(self):
+        buf = io.StringIO()
+        writer = CsvSinkWriter(buf)
+        self.run_with_writer(writer)
+        lines = buf.getvalue().splitlines()
+        assert lines[0] == "ts,arrival_ts,latency,payload"
+        assert len(lines) == 4
+        assert writer.rows_written == 3
+        assert '""a"": 0' in lines[1] or '"{""a"": 0' in lines[1]
+
+    def test_field_columns(self):
+        buf = io.StringIO()
+        writer = CsvSinkWriter(buf, fields=["a", "missing"])
+        self.run_with_writer(writer)
+        lines = buf.getvalue().splitlines()
+        assert lines[0] == "ts,arrival_ts,latency,a,missing"
+        first = lines[1].split(",")
+        assert first[3] == "0" and first[4] == ""

@@ -1,0 +1,205 @@
+"""Tests for the simulation kernel: arrivals, heartbeats, busy-CPU delivery."""
+
+import pytest
+
+from repro.core.ets import NoEts, OnDemandEts, PeriodicEtsSchedule
+from repro.core.errors import WorkloadError
+from repro.core.graph import QueryGraph
+from repro.core.operators import Select, Union
+from repro.sim.cost import CostModel
+from repro.sim.kernel import Arrival, Simulation
+
+
+def path_graph(keep=False):
+    g = QueryGraph("path")
+    src = g.add_source("src")
+    sel = g.add(Select("sel", lambda p: True))
+    sink = g.add_sink("sink", keep_outputs=keep)
+    g.connect(src, sel)
+    g.connect(sel, sink)
+    return g, src, sink
+
+
+def union_graph():
+    g = QueryGraph("u")
+    s1 = g.add_source("s1")
+    s2 = g.add_source("s2")
+    u = g.add(Union("u"))
+    sink = g.add_sink("sink")
+    g.connect(s1, u)
+    g.connect(s2, u)
+    g.connect(u, sink)
+    return g, s1, s2, u, sink
+
+
+class TestArrivalDelivery:
+    def test_arrivals_flow_to_sink(self):
+        g, src, sink = path_graph(keep=True)
+        sim = Simulation(g, cost_model=CostModel.zero())
+        sim.attach_arrivals(src, iter([Arrival(1.0, {"v": 1}),
+                                       Arrival(2.0, {"v": 2})]))
+        sim.run(until=10.0)
+        assert sink.delivered == 2
+        assert [t.ts for t in sink.outputs_seen] == [1.0, 2.0]
+        assert sim.arrivals_delivered == 2
+
+    def test_arrivals_beyond_horizon_wait(self):
+        g, src, sink = path_graph()
+        sim = Simulation(g, cost_model=CostModel.zero())
+        sim.attach_arrivals(src, iter([Arrival(1.0, {}), Arrival(20.0, {})]))
+        sim.run(until=10.0)
+        assert sink.delivered == 1
+        sim.run(until=30.0)
+        assert sink.delivered == 2
+
+    def test_run_backwards_rejected(self):
+        g, _, _ = path_graph()
+        sim = Simulation(g)
+        sim.run(until=5.0)
+        with pytest.raises(WorkloadError):
+            sim.run(until=1.0)
+
+    def test_attach_unknown_source_rejected(self):
+        g, src, _ = path_graph()
+        other_graph, other_src, _ = path_graph()
+        sim = Simulation(g)
+        with pytest.raises(WorkloadError):
+            sim.attach_arrivals(other_src, iter([]))
+
+    def test_double_attach_rejected(self):
+        g, src, _ = path_graph()
+        sim = Simulation(g)
+        sim.attach_arrivals(src, iter([]))
+        with pytest.raises(WorkloadError):
+            sim.attach_arrivals(src, iter([]))
+
+    def test_schedule_single_arrival(self):
+        g, src, sink = path_graph()
+        sim = Simulation(g, cost_model=CostModel.zero())
+        sim.schedule_arrival(src, Arrival(2.0, {"v": 1}))
+        sim.run(until=5.0)
+        assert sink.delivered == 1
+
+    def test_external_timestamps_pass_through(self):
+        from repro.core.tuples import TimestampKind
+        g = QueryGraph("ext")
+        src = g.add_source("src", TimestampKind.EXTERNAL)
+        sink = g.add_sink("sink", keep_outputs=True)
+        g.connect(src, sink)
+        sim = Simulation(g, cost_model=CostModel.zero())
+        sim.attach_arrivals(src, iter([Arrival(1.0, {}, external_ts=0.4)]))
+        sim.run(until=2.0)
+        assert sink.outputs_seen[0].ts == 0.4
+
+
+class TestBusyCpuDelivery:
+    def test_arrival_during_processing_enters_late(self):
+        """With an expensive step, a tuple arriving mid-round is stamped
+        with its (later) entry time but keeps its physical arrival time."""
+        g, src, sink = path_graph(keep=True)
+        sim = Simulation(g, cost_model=CostModel.uniform(0.5))
+        sim.attach_arrivals(src, iter([Arrival(1.0, {}), Arrival(1.1, {})]))
+        sim.run(until=10.0)
+        assert sink.delivered == 2
+        second = sink.outputs_seen[1]
+        assert second.arrival_ts == pytest.approx(1.1)
+        assert second.ts > 1.1  # entered the DSMS once the CPU freed up
+
+    def test_latency_includes_queueing(self):
+        g, src, sink = path_graph()
+        sim = Simulation(g, cost_model=CostModel.uniform(0.5))
+        sim.attach_arrivals(src, iter([Arrival(1.0, {}), Arrival(1.1, {})]))
+        sim.run(until=10.0)
+        assert sink.latency_max > 0.5
+
+
+class TestHeartbeats:
+    def test_periodic_injection(self):
+        g, s1, s2, u, sink = union_graph()
+        sim = Simulation(
+            g, ets_policy=NoEts(),
+            periodic=PeriodicEtsSchedule({"s2": 2.0}),
+            cost_model=CostModel.zero())
+        sim.run(until=5.0)
+        # ~2 per second for 5 seconds, first at t=0.5
+        assert s2.punctuation_injected >= 8
+        assert s1.punctuation_injected == 0
+        assert sim.heartbeats_delivered == s2.punctuation_injected
+
+    def test_heartbeats_unblock_union(self):
+        g, s1, s2, u, sink = union_graph()
+        sim = Simulation(
+            g, ets_policy=NoEts(),
+            periodic=PeriodicEtsSchedule({"s2": 10.0}),
+            cost_model=CostModel.zero())
+        sim.attach_arrivals(s1, iter([Arrival(1.0, {"v": 1})]))
+        sim.run(until=2.0)
+        assert sink.delivered == 1
+
+    def test_no_heartbeats_means_idle_waiting(self):
+        g, s1, s2, u, sink = union_graph()
+        sim = Simulation(g, ets_policy=NoEts(), cost_model=CostModel.zero())
+        sim.attach_arrivals(s1, iter([Arrival(1.0, {"v": 1})]))
+        sim.run(until=10.0)
+        assert sink.delivered == 0
+        assert sim.idle_fraction("u") > 0.8  # blocked from 1.0 to 10.0
+
+
+class TestOnDemandInKernel:
+    def test_scenario_c_end_to_end(self):
+        g, s1, s2, u, sink = union_graph()
+        sim = Simulation(g, ets_policy=OnDemandEts(),
+                         cost_model=CostModel.zero())
+        sim.attach_arrivals(s1, iter([Arrival(float(t), {"v": t})
+                                      for t in range(1, 6)]))
+        sim.run(until=10.0)
+        assert sink.delivered == 5
+        assert sim.engine.stats.ets_injected >= 5
+        assert sim.idle_fraction("u") == pytest.approx(0.0, abs=1e-9)
+
+
+class TestMetricsSurface:
+    def test_peak_queue_property(self):
+        g, src, sink = path_graph()
+        sim = Simulation(g, cost_model=CostModel.zero())
+        sim.attach_arrivals(src, iter([Arrival(1.0, {})]))
+        sim.run(until=2.0)
+        assert sim.peak_queue_size >= 1
+
+    def test_cpu_utilization(self):
+        g, src, sink = path_graph()
+        sim = Simulation(g, cost_model=CostModel.uniform(0.1))
+        sim.attach_arrivals(src, iter([Arrival(1.0, {})]))
+        sim.run(until=10.0)
+        assert 0.0 < sim.cpu_utilization < 1.0
+
+    def test_idle_fraction_requires_tracking(self):
+        g, s1, s2, u, sink = union_graph()
+        sim = Simulation(g, track_idle=False)
+        with pytest.raises(WorkloadError):
+            sim.idle_fraction("u")
+
+
+class TestSummary:
+    def test_summary_keys_and_values(self):
+        g, s1, s2, u, sink = union_graph()
+        sim = Simulation(g, ets_policy=OnDemandEts(),
+                         cost_model=CostModel.zero())
+        sim.attach_arrivals(s1, iter([Arrival(1.0, {"v": 1}),
+                                      Arrival(2.0, {"v": 2})]))
+        sim.run(until=5.0)
+        summary = sim.summary()
+        assert summary["now"] == 5.0
+        assert summary["arrivals"] == 2
+        assert summary["delivered"] == 2
+        assert summary["ets_injected"] >= 2
+        assert 0.0 <= summary["cpu_utilization"] <= 1.0
+        assert set(summary["idle_fractions"]) == {"u"}
+        assert summary["engine_steps"] == \
+            summary["punctuation_steps"] + sim.engine.stats.data_steps
+
+    def test_summary_without_idle_tracking(self):
+        g, s1, s2, u, sink = union_graph()
+        sim = Simulation(g, track_idle=False, cost_model=CostModel.zero())
+        sim.run(until=1.0)
+        assert sim.summary()["idle_fractions"] == {}

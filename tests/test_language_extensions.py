@@ -1,0 +1,111 @@
+"""Tests for the query-language extensions: durations, REORDER, UNORDERED."""
+
+import pytest
+
+from repro.core.errors import QueryLanguageError
+from repro.core.operators import Reorder, TumblingAggregate, WindowJoin
+from repro.query.language import compile_query
+from repro.sim.cost import CostModel
+from repro.sim.kernel import Arrival, Simulation
+
+
+def ops_of(cq, cls):
+    return [op for op in cq.graph.operators if isinstance(op, cls)]
+
+
+class TestDurations:
+    def compile_window(self, spec: str):
+        cq = compile_query(f"""
+            STREAM a; STREAM b;
+            j = JOIN a, b WINDOW {spec};
+            SINK j;
+        """)
+        return ops_of(cq, WindowJoin)[0].windows[0].span
+
+    def test_bare_number_is_seconds(self):
+        assert self.compile_window("60") == 60.0
+
+    def test_seconds_suffix(self):
+        assert self.compile_window("60s") == 60.0
+        assert self.compile_window("60 sec") == 60.0
+
+    def test_milliseconds(self):
+        assert self.compile_window("500ms") == pytest.approx(0.5)
+
+    def test_minutes_and_hours(self):
+        assert self.compile_window("2 min") == 120.0
+        assert self.compile_window("1h") == 3600.0
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(QueryLanguageError, match="duration unit"):
+            self.compile_window("3 fortnights")
+
+    def test_aggregate_window_units(self):
+        cq = compile_query("""
+            STREAM s (v float);
+            a = AGGREGATE s WINDOW 5 min COMPUTE n = count();
+            SINK a;
+        """)
+        assert ops_of(cq, TumblingAggregate)[0].width == 300.0
+
+
+class TestReorderStatement:
+    def test_reorder_with_slack(self):
+        cq = compile_query("""
+            STREAM ticks (px float) TIMESTAMP EXTERNAL UNORDERED;
+            fixed = REORDER ticks SLACK 500ms;
+            SINK fixed;
+        """)
+        reorders = ops_of(cq, Reorder)
+        assert len(reorders) == 1
+        assert reorders[0].slack == pytest.approx(0.5)
+        assert reorders[0].late_policy == "drop"
+
+    def test_late_error_policy(self):
+        cq = compile_query("""
+            STREAM ticks TIMESTAMP EXTERNAL UNORDERED;
+            fixed = REORDER ticks SLACK 1s LATE ERROR;
+            SINK fixed;
+        """)
+        assert ops_of(cq, Reorder)[0].late_policy == "error"
+
+    def test_bad_late_policy(self):
+        with pytest.raises(QueryLanguageError, match="DROP or ERROR"):
+            compile_query("""
+                STREAM t TIMESTAMP EXTERNAL UNORDERED;
+                f = REORDER t SLACK 1s LATE IGNORE;
+                SINK f;
+            """)
+
+
+class TestUnorderedStreams:
+    def test_unordered_flag_set(self):
+        cq = compile_query("""
+            STREAM ticks TIMESTAMP EXTERNAL UNORDERED;
+            SINK ticks;
+        """)
+        assert cq.sources["ticks"].out_of_order
+
+    def test_unordered_requires_external(self):
+        with pytest.raises(Exception):
+            compile_query("""
+                STREAM ticks TIMESTAMP INTERNAL UNORDERED;
+                SINK ticks;
+            """)
+
+    def test_end_to_end_reorder_program(self):
+        cq = compile_query("""
+            STREAM ticks (px float) TIMESTAMP EXTERNAL UNORDERED;
+            fixed = REORDER ticks SLACK 2s;
+            SINK fixed AS out;
+        """)
+        sim = Simulation(cq.graph, cost_model=CostModel.zero())
+        src = cq.sources["ticks"]
+        sim.attach_arrivals(src, iter([
+            Arrival(1.0, {"px": 1.0}, external_ts=0.9),
+            Arrival(2.0, {"px": 2.0}, external_ts=0.5),   # out of order
+            Arrival(3.0, {"px": 3.0}, external_ts=2.9),
+            Arrival(4.0, {"px": 4.0}, external_ts=3.9),
+        ]))
+        sim.run(until=10.0)
+        assert cq.sinks["out"].delivered >= 2  # 0.5 and 0.9 released by 3.9

@@ -1,0 +1,198 @@
+"""Tests for metrics: latency recorder, idle tracker, queue sampler, report."""
+
+import math
+
+import pytest
+
+from repro.core.buffers import BufferRegistry, StreamBuffer
+from repro.core.graph import QueryGraph
+from repro.core.operators import Select, Union
+from repro.metrics.idle import IdleTracker
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.queues import QueueSampler, queue_summary
+from repro.metrics.report import format_series, format_table, format_value
+
+from conftest import ManualClock, OpHarness, data
+
+
+class TestLatencyRecorder:
+    def test_basic_statistics(self):
+        rec = LatencyRecorder()
+        for latency in (0.1, 0.2, 0.3):
+            rec.record(latency)
+        assert rec.count == 3
+        assert rec.mean == pytest.approx(0.2)
+        assert rec.max_latency == pytest.approx(0.3)
+        assert rec.min_latency == pytest.approx(0.1)
+
+    def test_nan_ignored(self):
+        rec = LatencyRecorder()
+        rec.record(float("nan"))
+        assert rec.count == 0
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(LatencyRecorder().mean)
+
+    def test_usable_as_sink_callback(self):
+        rec = LatencyRecorder()
+        rec(None, 0.5)
+        assert rec.count == 1
+
+    def test_percentiles(self):
+        rec = LatencyRecorder()
+        for i in range(1, 101):
+            rec.record(float(i))
+        assert rec.percentile(0.5) == pytest.approx(50.0, abs=2)
+        assert rec.percentile(0.99) == pytest.approx(99.0, abs=2)
+        assert rec.percentile(0.0) == 1.0
+        assert rec.percentile(1.0) == 100.0
+
+    def test_percentile_bounds_checked(self):
+        rec = LatencyRecorder()
+        rec.record(1.0)
+        with pytest.raises(ValueError):
+            rec.percentile(1.5)
+
+    def test_reservoir_bounded(self):
+        rec = LatencyRecorder(reservoir_size=10)
+        for i in range(1000):
+            rec.record(float(i))
+        assert rec.count == 1000
+        assert len(rec._reservoir) == 10
+
+    def test_summary_keys(self):
+        rec = LatencyRecorder()
+        rec.record(1.0)
+        assert set(rec.summary()) == {"count", "mean", "max", "min",
+                                      "p50", "p99"}
+
+
+class TestIdleTracker:
+    def make_blocked_union(self):
+        op = Union("u")
+        h = OpHarness(op, n_inputs=2)
+        return op, h
+
+    def test_accrues_while_blocked(self):
+        op, h = self.make_blocked_union()
+        tracker = IdleTracker([op])
+        h.feed(0, 1.0)  # blocked: input 1 unknown
+        tracker.refresh(1.0)
+        tracker.refresh(5.0)
+        assert tracker.idle_time("u") == pytest.approx(4.0)
+        assert tracker.idle_fraction("u") == pytest.approx(0.8)
+
+    def test_interval_closes_when_unblocked(self):
+        op, h = self.make_blocked_union()
+        tracker = IdleTracker([op])
+        h.feed(0, 1.0)
+        tracker.refresh(1.0)
+        h.feed(1, 2.0)  # now unblocked
+        tracker.refresh(3.0)
+        h.run()
+        tracker.refresh(10.0)
+        assert tracker.idle_time("u") == pytest.approx(2.0)
+
+    def test_open_interval_counts_up_to_now(self):
+        op, h = self.make_blocked_union()
+        tracker = IdleTracker([op])
+        h.feed(0, 1.0)
+        tracker.refresh(1.0)
+        assert tracker.idle_time("u", now=11.0) == pytest.approx(10.0)
+
+    def test_punctuation_is_not_pending_data(self):
+        op, h = self.make_blocked_union()
+        tracker = IdleTracker([op])
+        h.feed_punctuation(0, 1.0)
+        tracker.refresh(1.0)
+        tracker.refresh(5.0)
+        assert tracker.idle_time("u") == 0.0
+
+    def test_snapshot(self):
+        op, h = self.make_blocked_union()
+        tracker = IdleTracker([op])
+        h.feed(0, 1.0)
+        tracker.refresh(0.0)
+        tracker.refresh(10.0)
+        assert set(tracker.snapshot()) == {"u"}
+
+    def test_zero_duration_fraction(self):
+        op, _ = self.make_blocked_union()
+        tracker = IdleTracker([op])
+        assert tracker.idle_fraction("u") == 0.0
+
+
+class TestQueueSampler:
+    def test_records_changes(self):
+        clock = ManualClock()
+        reg = BufferRegistry()
+        sampler = QueueSampler(clock)
+        reg.set_observer(sampler)
+        buf = StreamBuffer("b", reg)
+        clock.t = 1.0
+        buf.push(data(1.0))
+        clock.t = 2.0
+        buf.pop()
+        assert sampler.samples == [(1.0, 1), (2.0, 0)]
+        assert sampler.max_total() == 1
+
+    def test_min_interval_thins(self):
+        clock = ManualClock()
+        reg = BufferRegistry()
+        sampler = QueueSampler(clock, min_interval=1.0)
+        reg.set_observer(sampler)
+        buf = StreamBuffer("b", reg)
+        clock.t = 1.0
+        buf.push(data(1.0))
+        clock.t = 1.5
+        buf.push(data(2.0))  # too soon: dropped from the series
+        clock.t = 3.0
+        buf.push(data(3.0))
+        assert [t for t, _ in sampler.samples] == [1.0, 3.0]
+
+    def test_empty_max(self):
+        assert QueueSampler(ManualClock()).max_total() == 0
+
+
+class TestQueueSummary:
+    def test_shape(self):
+        g = QueryGraph("g")
+        src = g.add_source("src")
+        sel = g.add(Select("sel", lambda p: True))
+        sink = g.add_sink("sink")
+        g.connect(src, sel)
+        g.connect(sel, sink)
+        src.ingest({}, now=1.0)
+        summary = queue_summary(g)
+        assert summary["current_total"] == 1
+        assert summary["peak_total"] == 1
+        assert set(summary["per_buffer"]) == {"src->sel", "sel->sink"}
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(12) == "12"
+        assert format_value(1234567) == "1,234,567"
+        assert format_value(0.5) == "0.5"
+        assert format_value(1.23456e-7) == "1.235e-07"
+        assert format_value(float("nan")) == "-"
+        assert format_value("text") == "text"
+        assert format_value(True) == "True"
+        assert format_value(0.0) == "0"
+
+    def test_format_table_aligns(self):
+        table = format_table(["a", "long_header"],
+                             [[1, 2], [333, 4]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[1]
+        assert len({len(line) for line in lines[2:]}) == 1
+
+    def test_format_series_plots(self):
+        out = format_series([(1, 10.0), (2, 100.0), (3, 1000.0)],
+                            log_y=True, title="S")
+        assert out.startswith("S")
+        assert "*" in out
+
+    def test_format_series_empty(self):
+        assert format_series([], title="none") == "none"

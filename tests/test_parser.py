@@ -1,0 +1,109 @@
+"""Tests for the query-language tokenizer and expression parser."""
+
+import pytest
+
+from repro.core.errors import QueryLanguageError
+from repro.query.parser import compile_expression, tokenize
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.kind == "keyword" and t.text == "select" for t in tokens)
+
+    def test_identifiers(self):
+        tokens = tokenize("my_stream x1")
+        assert [t.kind for t in tokens] == ["ident", "ident"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 .5")
+        assert [t.text for t in tokens] == ["42", "3.14", ".5"]
+
+    def test_strings(self):
+        tokens = tokenize("'hello' \"world\"")
+        assert [t.kind for t in tokens] == ["string", "string"]
+
+    def test_operators(self):
+        tokens = tokenize("< <= == != >= > + - * / % =")
+        assert all(t.kind == "op" for t in tokens)
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a -- this is a comment\nb")
+        assert [t.text for t in tokens] == ["a", "b"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[1].pos == 3
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryLanguageError):
+            tokenize("a @ b")
+
+
+class TestExpressions:
+    def e(self, text, env=None):
+        return compile_expression(text)(env or {})
+
+    def test_literals(self):
+        assert self.e("42") == 42
+        assert self.e("3.5") == 3.5
+        assert self.e("'hi'") == "hi"
+        assert self.e("true") is True
+        assert self.e("false") is False
+        assert self.e("null") is None
+
+    def test_field_reference(self):
+        assert self.e("v", {"v": 7}) == 7
+
+    def test_dotted_field(self):
+        assert self.e("left.v", {"left": {"v": 5}}) == 5
+
+    def test_comparisons(self):
+        assert self.e("1 < 2") and self.e("2 <= 2") and self.e("3 > 2")
+        assert self.e("2 >= 2") and self.e("1 == 1") and self.e("1 != 2")
+        assert not self.e("2 < 1")
+
+    def test_arithmetic(self):
+        assert self.e("1 + 2 * 3") == 7
+        assert self.e("(1 + 2) * 3") == 9
+        assert self.e("10 / 4") == 2.5
+        assert self.e("10 % 3") == 1
+        assert self.e("-5 + 2") == -3
+
+    def test_boolean_composition(self):
+        env = {"a": 1, "b": 5}
+        assert self.e("a == 1 and b == 5", env)
+        assert self.e("a == 2 or b == 5", env)
+        assert self.e("not a == 2", env)
+        assert not self.e("not (a == 1)", env)
+
+    def test_precedence_and_over_or(self):
+        assert self.e("true or false and false")  # or(true, and(false,false))
+
+    def test_comparison_with_arithmetic(self):
+        assert self.e("v * 2 < 10", {"v": 4})
+        assert not self.e("v * 2 < 10", {"v": 6})
+
+    def test_single_equals_is_error(self):
+        with pytest.raises(QueryLanguageError, match="=="):
+            compile_expression("a = 1")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QueryLanguageError, match="trailing"):
+            compile_expression("1 + 2 3")
+
+    def test_unexpected_end(self):
+        with pytest.raises(QueryLanguageError):
+            compile_expression("1 +")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(QueryLanguageError):
+            compile_expression("(1 + 2")
+
+    def test_string_escapes(self):
+        assert self.e(r"'it\'s'") == "it's"
+
+    def test_evaluation_is_reusable(self):
+        fn = compile_expression("v + 1")
+        assert fn({"v": 1}) == 2
+        assert fn({"v": 10}) == 11

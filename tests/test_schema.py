@@ -1,0 +1,110 @@
+"""Unit tests for stream schemas."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.schema import Field, Schema
+
+
+class TestField:
+    def test_valid_field(self):
+        f = Field("bytes", "int")
+        assert f.python_type is int
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("not a name", "int")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("x", "decimal")
+
+    def test_validate_accepts_matching(self):
+        Field("x", "int").validate(3)
+        Field("x", "str").validate("hi")
+        Field("x", "bool").validate(True)
+        Field("x", "any").validate(object())
+
+    def test_validate_rejects_mismatch(self):
+        with pytest.raises(SchemaError):
+            Field("x", "int").validate("3")
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SchemaError):
+            Field("x", "int").validate(True)
+
+    def test_int_accepted_for_float(self):
+        Field("x", "float").validate(3)
+
+    def test_nullable(self):
+        Field("x", "int", nullable=True).validate(None)
+        with pytest.raises(SchemaError):
+            Field("x", "int").validate(None)
+
+
+class TestSchema:
+    def make(self) -> Schema:
+        return Schema.of("packets", src="str", size="int", rtt="float")
+
+    def test_of_builds_ordered_fields(self):
+        schema = self.make()
+        assert schema.field_names() == ("src", "size", "rtt")
+        assert len(schema) == 3
+        assert "src" in schema and "dst" not in schema
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Field("a", "int"), Field("a", "int")))
+
+    def test_field_lookup(self):
+        schema = self.make()
+        assert schema.field("size").type_name == "int"
+        with pytest.raises(SchemaError):
+            schema.field("nope")
+
+    def test_validate_record(self):
+        schema = self.make()
+        schema.validate({"src": "h1", "size": 100, "rtt": 0.5})
+
+    def test_validate_missing_field(self):
+        with pytest.raises(SchemaError, match="missing"):
+            self.make().validate({"src": "h1", "size": 100})
+
+    def test_validate_extra_field(self):
+        with pytest.raises(SchemaError, match="unexpected"):
+            self.make().validate(
+                {"src": "h1", "size": 1, "rtt": 0.1, "extra": 0})
+
+    def test_validate_non_mapping(self):
+        with pytest.raises(SchemaError, match="mapping"):
+            self.make().validate([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_nullable_field_may_be_absent(self):
+        schema = Schema((Field("a", "int"), Field("b", "int", nullable=True)))
+        schema.validate({"a": 1})
+
+    def test_project(self):
+        schema = self.make()
+        sub = schema.project(["rtt", "src"])
+        assert sub.field_names() == ("rtt", "src")
+
+    def test_project_unknown_field(self):
+        with pytest.raises(SchemaError):
+            self.make().project(["nope"])
+
+    def test_join_disjoint(self):
+        left = Schema.of("l", a="int")
+        right = Schema.of("r", b="str")
+        joined = left.join(right)
+        assert joined.field_names() == ("a", "b")
+
+    def test_join_collision_needs_prefixes(self):
+        left = Schema.of("l", a="int")
+        right = Schema.of("r", a="str")
+        with pytest.raises(SchemaError):
+            left.join(right)
+        joined = left.join(right, left_prefix="l_", right_prefix="r_")
+        assert joined.field_names() == ("l_a", "r_a")
+
+    def test_iter(self):
+        assert [f.name for f in self.make()] == ["src", "size", "rtt"]

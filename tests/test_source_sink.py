@@ -1,0 +1,152 @@
+"""Tests for source and sink nodes: timestamping, latency, punctuation."""
+
+import math
+
+import pytest
+
+from repro.core.buffers import StreamBuffer
+from repro.core.errors import TimestampError
+from repro.core.operators import SinkNode, SourceNode
+from repro.core.operators.base import OpContext
+from repro.core.tuples import LATENT_TS, TimestampKind
+
+from conftest import ManualClock, data, punct
+
+
+def make_source(kind=TimestampKind.INTERNAL):
+    src = SourceNode("s", kind)
+    buf = StreamBuffer("s->x")
+    src.attach_output(buf, consumer=None)
+    return src, buf
+
+
+class TestInternalSource:
+    def test_stamps_with_now(self):
+        src, buf = make_source()
+        tup = src.ingest({"v": 1}, now=3.25)
+        assert tup.ts == 3.25 and tup.arrival_ts == 3.25
+        assert len(buf) == 1
+
+    def test_explicit_ts_forbidden(self):
+        src, _ = make_source()
+        with pytest.raises(TimestampError):
+            src.ingest({"v": 1}, now=1.0, ts=0.5)
+
+    def test_arrival_can_precede_entry(self):
+        """A tuple delivered late (busy engine) keeps its physical arrival."""
+        src, _ = make_source()
+        tup = src.ingest({"v": 1}, now=5.0, arrival=4.2)
+        assert tup.ts == 5.0 and tup.arrival_ts == 4.2
+
+    def test_watermark_tracks_data(self):
+        src, _ = make_source()
+        src.ingest({}, now=1.0)
+        src.ingest({}, now=4.0)
+        assert src.watermark == 4.0 and src.last_data_ts == 4.0
+        assert src.ingested_count == 2
+
+
+class TestExternalSource:
+    def test_requires_ts(self):
+        src, _ = make_source(TimestampKind.EXTERNAL)
+        with pytest.raises(TimestampError):
+            src.ingest({}, now=1.0)
+
+    def test_keeps_app_timestamp(self):
+        src, _ = make_source(TimestampKind.EXTERNAL)
+        tup = src.ingest({}, now=5.0, ts=4.0)
+        assert tup.ts == 4.0 and tup.arrival_ts == 5.0
+
+    def test_rejects_regressing_timestamps(self):
+        src, _ = make_source(TimestampKind.EXTERNAL)
+        src.ingest({}, now=1.0, ts=10.0)
+        with pytest.raises(TimestampError):
+            src.ingest({}, now=2.0, ts=9.0)
+
+
+class TestLatentSource:
+    def test_emits_unstamped(self):
+        src, _ = make_source(TimestampKind.LATENT)
+        tup = src.ingest({}, now=5.0)
+        assert tup.ts == LATENT_TS and tup.is_latent
+        assert tup.arrival_ts == 5.0
+
+    def test_ts_forbidden(self):
+        src, _ = make_source(TimestampKind.LATENT)
+        with pytest.raises(TimestampError):
+            src.ingest({}, now=5.0, ts=1.0)
+
+
+class TestPunctuationInjection:
+    def test_injects_and_advances_watermark(self):
+        src, buf = make_source()
+        assert src.inject_punctuation(3.0)
+        assert src.watermark == 3.0
+        assert buf.pop().is_punctuation
+
+    def test_stale_injection_skipped(self):
+        src, buf = make_source()
+        src.ingest({}, now=5.0)
+        assert not src.inject_punctuation(5.0)
+        assert not src.inject_punctuation(4.0)
+        assert src.punctuation_injected == 0
+
+    def test_latent_source_never_injects(self):
+        src, buf = make_source(TimestampKind.LATENT)
+        assert not src.inject_punctuation(1.0)
+
+    def test_source_never_executes(self):
+        src, _ = make_source()
+        assert not src.more()
+        with pytest.raises(NotImplementedError):
+            src.execute_step(OpContext(clock=ManualClock()))
+
+
+class TestSink:
+    def make(self, **kwargs):
+        sink = SinkNode("out", **kwargs)
+        buf = StreamBuffer("x->out")
+        sink.attach_input(buf, producer=None)
+        clock = ManualClock()
+        return sink, buf, OpContext(clock=clock), clock
+
+    def test_latency_statistics(self):
+        sink, buf, ctx, clock = self.make()
+        buf.push(data(1.0, arrival=1.0))
+        buf.push(data(2.0, arrival=2.0))
+        clock.t = 2.5
+        sink.execute_step(ctx)
+        sink.execute_step(ctx)
+        assert sink.delivered == 2
+        assert sink.mean_latency == pytest.approx((1.5 + 0.5) / 2)
+        assert sink.latency_max == pytest.approx(1.5)
+
+    def test_punctuation_eliminated(self):
+        sink, buf, ctx, clock = self.make()
+        buf.push(punct(1.0))
+        sink.execute_step(ctx)
+        assert sink.delivered == 0
+        assert sink.punctuation_eliminated == 1
+
+    def test_callback_invoked(self):
+        seen = []
+        sink, buf, ctx, clock = self.make(
+            on_output=lambda tup, lat: seen.append((tup.payload, lat)))
+        clock.t = 3.0
+        buf.push(data(1.0, payload="x", arrival=1.0))
+        sink.execute_step(ctx)
+        assert seen == [("x", 2.0)]
+
+    def test_keep_outputs(self):
+        sink, buf, ctx, clock = self.make(keep_outputs=True)
+        buf.push(data(1.0, payload="x"))
+        sink.execute_step(ctx)
+        assert [t.payload for t in sink.outputs_seen] == ["x"]
+
+    def test_nan_arrival_not_counted(self):
+        sink, buf, ctx, clock = self.make()
+        buf.push(data(1.0, arrival=float("nan")))
+        sink.execute_step(ctx)
+        assert sink.delivered == 1
+        assert sink.latency_count == 0
+        assert math.isnan(sink.mean_latency)

@@ -1,0 +1,150 @@
+"""Tests asserting the paper's NOS rules through the tracing engine."""
+
+import pytest
+
+from repro.core.ets import NoEts, OnDemandEts
+from repro.core.graph import QueryGraph
+from repro.core.operators import Select, Union
+from repro.core.tracing import Tracer, TracingEngine, summarize
+from repro.sim.clock import VirtualClock
+from repro.sim.cost import CostModel
+
+
+def simple_path():
+    """The paper's Fig.-2 graph: Source -> Q1 -> Q2 -> Sink."""
+    g = QueryGraph("fig2")
+    src = g.add_source("src")
+    q1 = g.add(Select("Q1", lambda p: True))
+    q2 = g.add(Select("Q2", lambda p: True))
+    sink = g.add_sink("sink")
+    g.connect(src, q1)
+    g.connect(q1, q2)
+    g.connect(q2, sink)
+    return g, src
+
+
+def union_graph():
+    g = QueryGraph("fig4")
+    fast = g.add_source("fast")
+    slow = g.add_source("slow")
+    u = g.add(Union("u"))
+    sink = g.add_sink("sink")
+    g.connect(fast, u)
+    g.connect(slow, u)
+    g.connect(u, sink)
+    return g, fast, slow
+
+
+def make_engine(graph, policy=None):
+    tracer = Tracer()
+    engine = TracingEngine(graph, VirtualClock(),
+                           cost_model=CostModel.zero(),
+                           ets_policy=policy, tracer=tracer)
+    return engine, tracer
+
+
+class TestSimplePathNOS:
+    def test_single_tuple_walk(self):
+        """One tuple follows the DFS: execute, Forward, execute, Forward to
+        the sink, execute there, then Backtrack up the path."""
+        g, src = simple_path()
+        engine, tracer = make_engine(g)
+        src.ingest({"v": 1}, now=0.0)
+        engine.wakeup(entry=src)
+        seq = tracer.sequence()
+        walk = [ev for ev in seq if ev[0] in ("execute", "forward",
+                                              "backtrack")]
+        assert walk == [
+            ("forward", "Q1"),       # source buffer nonempty → Forward
+            ("execute", "Q1"),
+            ("forward", "Q2"),       # yield → Forward
+            ("execute", "Q2"),
+            ("forward", "sink"),
+            ("execute", "sink"),
+            ("backtrack", "Q2"),     # sink empty → Backtrack to pred
+            ("backtrack", "Q1"),
+            ("backtrack", "src"),
+        ]
+
+    def test_two_tuples_use_encore_at_q1(self):
+        """With two buffered tuples, after backtracking to Q1 the Encore
+        rule re-executes it (paper Section 3.1)."""
+        g, src = simple_path()
+        engine, tracer = make_engine(g)
+        src.ingest({"v": 1}, now=0.0)
+        src.ingest({"v": 2}, now=0.0)
+        engine.wakeup(entry=src)
+        kinds = tracer.kinds()
+        assert "encore" in kinds
+        assert summarize(tracer.events)["execute"] == 6  # 3 ops x 2 tuples
+
+    def test_quiesce_recorded(self):
+        g, src = simple_path()
+        engine, tracer = make_engine(g)
+        engine.wakeup()
+        assert tracer.kinds()[-1] == "quiesce"
+
+
+class TestBacktrackToStalledPred:
+    def test_backtrack_crosses_to_other_branch(self):
+        """The modified Backtrack rule goes to pred_j of the *stalled*
+        input — i.e. from the union up the other source's branch."""
+        g, fast, slow = union_graph()
+        engine, tracer = make_engine(g, policy=NoEts())
+        fast.ingest({"v": 1}, now=1.0)
+        engine.wakeup(entry=fast)
+        backtracks = [e for e in tracer.events if e.kind == "backtrack"]
+        assert backtracks
+        assert backtracks[0].operator == "slow"
+        assert "stalled input 1 of u" in backtracks[0].detail
+
+    def test_ets_fires_exactly_at_stalled_source(self):
+        g, fast, slow = union_graph()
+        engine, tracer = make_engine(g, policy=OnDemandEts())
+        engine.clock.advance_to(1.0)
+        fast.ingest({"v": 1}, now=1.0)
+        engine.wakeup(entry=fast)
+        ets_events = tracer.of_kind("ets")
+        assert ets_events
+        assert ets_events[0].operator == "slow"
+        assert ets_events[0].detail == "injected"
+        # after the injection the walk moved Forward down the slow branch
+        idx = tracer.events.index(ets_events[0])
+        following = tracer.events[idx + 1:]
+        assert ("forward", "u") in [(e.kind, e.operator) for e in following]
+
+    def test_no_ets_trace_shows_declined_nothing(self):
+        """Under NoEts the policy is never consulted (nothing to offer)."""
+        g, fast, slow = union_graph()
+        engine, tracer = make_engine(g, policy=NoEts())
+        fast.ingest({"v": 1}, now=1.0)
+        engine.wakeup(entry=fast)
+        # policy returns False; trace records the declined offer
+        assert all(e.detail == "declined" for e in tracer.of_kind("ets"))
+
+
+class TestTracerUtilities:
+    def test_capacity_bounds_recording(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record("execute", f"op{i}", 1)
+        assert len(tracer.events) == 2
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record("execute", "x", 1)
+        tracer.clear()
+        assert tracer.events == []
+
+    def test_format_readable(self):
+        tracer = Tracer()
+        tracer.record("backtrack", "slow", 3, detail="stalled input 1 of u")
+        text = tracer.format()
+        assert "round 3" in text and "slow" in text and "stalled" in text
+
+    def test_summarize(self):
+        tracer = Tracer()
+        tracer.record("execute", "a", 1)
+        tracer.record("execute", "b", 1)
+        tracer.record("forward", "b", 1)
+        assert summarize(tracer.events) == {"execute": 2, "forward": 1}

@@ -1,0 +1,220 @@
+"""Unit tests for the union operator: gating, simultaneous tuples, punctuation."""
+
+import pytest
+
+from repro.core.errors import ExecutionError, GraphError
+from repro.core.operators import Union
+from repro.core.tuples import LATENT_TS, DataTuple, TimestampKind
+
+from conftest import OpHarness
+
+
+def make_union(n: int = 2, strict: bool = False) -> tuple[Union, OpHarness]:
+    op = Union("u", strict=strict)
+    return op, OpHarness(op, n_inputs=n)
+
+
+class TestBasicMerge:
+    def test_merges_by_timestamp(self):
+        op, h = make_union()
+        h.feed(0, 1.0, "a1")
+        h.feed(0, 3.0, "a3")
+        h.feed(1, 2.0, "b2")
+        h.feed(1, 4.0, "b4")
+        h.run()
+        assert [t.payload for t in h.output_data()] == ["a1", "b2", "a3"]
+        # "b4" stays: input 0's register is 3.0, so a future input-0 tuple
+        # could still be stamped below 4.0.
+        assert h.inputs[1].data_count == 1
+
+    def test_output_is_ordered(self):
+        op, h = make_union()
+        for ts in (1.0, 2.0, 5.0):
+            h.feed(0, ts)
+        for ts in (1.5, 2.5, 4.0):
+            h.feed(1, ts)
+        h.run()
+        out_ts = [t.ts for t in h.output_data()]
+        assert out_ts == sorted(out_ts)
+
+    def test_three_way_union(self):
+        op = Union("u")
+        h = OpHarness(op, n_inputs=3)
+        h.feed(0, 3.0, "a")
+        h.feed(1, 1.0, "b")
+        h.feed(2, 2.0, "c")
+        h.run()
+        # Only "b" can flow: once input 1 drains, its register (1.0) still
+        # gates — a future input-1 tuple could be stamped anywhere in [1, 2).
+        assert [t.payload for t in h.output_data()] == ["b"]
+        h.feed_punctuation(1, 10.0)
+        h.run()
+        # c flows; a still gated by input 2's register (2.0)
+        assert [t.payload for t in h.output_data()] == ["c"]
+        h.feed_punctuation(2, 10.0)
+        h.run()
+        assert [t.payload for t in h.output_data()] == ["a"]
+
+    def test_needs_two_inputs(self):
+        op = Union("u")
+        OpHarness(op, n_inputs=1)
+        with pytest.raises(GraphError):
+            op.validate_wiring()
+
+
+class TestIdleWaiting:
+    def test_blocks_when_one_input_never_produced(self):
+        op, h = make_union()
+        h.feed(0, 1.0)
+        assert not op.more()  # input 1 has unknown future: block
+
+    def test_blocks_when_empty_input_register_is_behind(self):
+        op, h = make_union()
+        h.feed(1, 1.0, "b")
+        h.feed(0, 2.0, "a")
+        h.run()
+        # "b" was emitted; now input 1 is empty with register 1.0 < head 2.0.
+        assert [t.payload for t in h.output_data()] == ["b"]
+        assert not op.more()
+
+    def test_unblocks_when_register_catches_up(self):
+        op, h = make_union()
+        h.feed(1, 1.0, "b")
+        h.feed(0, 2.0, "a")
+        h.run()
+        h.feed(1, 3.0, "b2")  # raises input 1's gate above 2.0
+        h.run()
+        payloads = [t.payload for t in h.output_data()]
+        assert payloads == ["b", "a"]
+
+    def test_stalled_input_is_the_gating_one(self):
+        op, h = make_union()
+        h.feed(1, 1.0)
+        h.run()  # consumes nothing (input 0 unknown)
+        h.feed(0, 2.0)
+        h.run()
+        assert not op.more()
+        assert op.stalled_input_index() == 1  # register 1.0 gates
+
+
+class TestSimultaneousTuples:
+    def test_all_simultaneous_tuples_flow(self):
+        """Paper 4.1: equal timestamps on both inputs must all be emitted."""
+        op, h = make_union()
+        h.feed(0, 5.0, "a1")
+        h.feed(0, 5.0, "a2")
+        h.feed(1, 5.0, "b1")
+        h.feed(1, 5.0, "b2")
+        h.run()
+        assert sorted(t.payload for t in h.output_data()) == [
+            "a1", "a2", "b1", "b2"]
+
+    def test_late_simultaneous_tuple_not_blocked(self):
+        """A simultaneous tuple arriving after its peers must not idle-wait."""
+        op, h = make_union()
+        h.feed(0, 5.0, "a1")
+        h.feed(1, 5.0, "b1")
+        h.run()
+        h.feed(0, 5.0, "a2")  # same timestamp, arrives later
+        assert op.more()
+        h.run()
+        assert sorted(t.payload for t in h.output_data()) == ["a1", "a2", "b1"]
+
+    def test_strict_mode_strands_simultaneous_tuples(self):
+        """The Fig.-1 rules leave one side holding simultaneous tuples."""
+        op, h = make_union(strict=True)
+        h.feed(0, 5.0, "a1")
+        h.feed(1, 5.0, "b1")
+        h.feed(1, 5.0, "b2")
+        h.run()
+        # strict more() needs all inputs nonempty: as soon as one side
+        # drains, its simultaneous peers on the other side strand ("the
+        # other will be left holding one or more simultaneous tuples").
+        stranded = h.inputs[0].data_count + h.inputs[1].data_count
+        emitted = len(h.output_data())
+        assert stranded == 2 and emitted == 1
+
+
+class TestPunctuationHandling:
+    def test_punctuation_unblocks_other_input(self):
+        op, h = make_union()
+        h.feed(0, 2.0, "a")
+        h.feed_punctuation(1, 3.0)
+        h.run()
+        out = h.drain_output()
+        assert [e.payload for e in out if not e.is_punctuation] == ["a"]
+
+    def test_punctuation_forwarded_downstream(self):
+        op, h = make_union()
+        h.feed_punctuation(0, 2.0)
+        h.feed_punctuation(1, 3.0)
+        h.run()
+        out = h.drain_output()
+        assert [e.ts for e in out] == [2.0]  # min of registers after consume
+        assert out[0].is_punctuation
+        assert op.punctuation_consumed >= 1
+
+    def test_redundant_punctuation_suppressed(self):
+        op, h = make_union()
+        h.feed(0, 5.0, "a")
+        h.feed_punctuation(1, 5.0)
+        h.run()
+        out = h.drain_output()
+        # data at 5.0 emitted; punctuation at 5.0 adds nothing downstream
+        assert len([e for e in out if e.is_punctuation]) == 0
+        assert op.punctuation_suppressed == 1
+
+    def test_data_preferred_over_punctuation_at_equal_ts(self):
+        op, h = make_union()
+        h.feed_punctuation(0, 5.0)
+        h.feed(1, 5.0, "b")
+        result = h.step()
+        assert result.consumed is not None
+        assert not result.consumed.is_punctuation
+
+    def test_punctuation_advances_register_when_consumed(self):
+        op, h = make_union()
+        h.feed_punctuation(1, 10.0)
+        h.feed(0, 4.0, "a")
+        h.run()
+        assert [t.payload for t in h.output_data()] == ["a"]
+        assert h.inputs[1].register.value == 10.0
+
+
+class TestLatentMode:
+    def feed_latent(self, h: OpHarness, idx: int, payload) -> None:
+        h.inputs[idx].push(DataTuple(ts=LATENT_TS, payload=payload,
+                                     kind=TimestampKind.LATENT))
+
+    def test_latent_tuples_flow_immediately(self):
+        """Paper Section 5: no idle-waiting for latent timestamps."""
+        op, h = make_union()
+        self.feed_latent(h, 0, "a")
+        assert op.more()  # no gating despite input 1 empty
+        h.run()
+        assert [t.payload for t in h.output_data()] == ["a"]
+
+    def test_latent_both_inputs(self):
+        op, h = make_union()
+        self.feed_latent(h, 0, "a")
+        self.feed_latent(h, 1, "b")
+        h.run()
+        assert sorted(t.payload for t in h.output_data()) == ["a", "b"]
+
+
+class TestExecuteWithoutMore:
+    def test_raises(self):
+        op, h = make_union()
+        h.feed(0, 1.0)
+        with pytest.raises(ExecutionError):
+            # more() is false (input 1 unknown); forcing a step must fail loudly
+            h.step()
+
+
+class TestStats:
+    def test_data_forwarded_counter(self):
+        op, h = make_union()
+        h.feed(0, 1.0)
+        h.feed(1, 2.0)
+        h.run()
+        assert op.data_forwarded == 1

@@ -1,0 +1,61 @@
+"""Tests for the paper-claim validator."""
+
+import pytest
+
+from repro.experiments.figures import idle_waiting_table, run_sweep
+from repro.experiments.validation import (
+    ClaimResult,
+    format_claims,
+    validate_paper_claims,
+)
+
+# A short but rate-compressed setup so the claims hold in test time: the
+# fast/slow skew ratio matches the paper's spirit (400x) at 8 simulated
+# seconds instead of 120.
+FAST, SLOW = 40.0, 0.1
+DURATION = 12.0
+
+
+@pytest.fixture(scope="module")
+def measured():
+    sweep = run_sweep(duration=DURATION, sweep_duration=8.0, seed=11,
+                      rate_fast=FAST, rate_slow=SLOW,
+                      heartbeat_rates=(0.5, 5.0, 50.0, 500.0, 4000.0))
+    idle = idle_waiting_table(duration=DURATION, seed=11, rate_fast=FAST,
+                              rate_slow=SLOW, heartbeat_rate=50.0)
+    return sweep, idle
+
+
+class TestValidator:
+    def test_returns_all_claims(self, measured):
+        sweep, idle = measured
+        results = validate_paper_claims(sweep, idle)
+        assert len(results) == 11
+        assert all(isinstance(r, ClaimResult) for r in results)
+
+    def test_details_are_populated(self, measured):
+        sweep, idle = measured
+        for r in validate_paper_claims(sweep, idle):
+            assert r.details
+
+    def test_format_renders_verdict(self, measured):
+        sweep, idle = measured
+        text = format_claims(validate_paper_claims(sweep, idle))
+        assert "claim-by-claim" in text
+        assert "=>" in text
+
+    def test_detects_failures(self, measured):
+        """Corrupting a measurement must flip its claim to FAIL."""
+        sweep, idle = measured
+        baseline = validate_paper_claims(sweep, idle)
+        original = sweep.baselines["A"].mean_latency
+        # sabotage: pretend scenario A had no latency problem at all
+        sweep.baselines["A"].mean_latency = 1e-6
+        try:
+            sabotaged = validate_paper_claims(sweep, idle)
+        finally:
+            sweep.baselines["A"].mean_latency = original
+        assert sum(r.passed for r in sabotaged) < sum(
+            r.passed for r in baseline)
+        text = format_claims(sabotaged)
+        assert "FAIL" in text and "SOME CLAIMS FAILED" in text

@@ -1,0 +1,95 @@
+"""Unit tests for window buffers (time- and count-based)."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.windows import CountWindow, TimeWindow, WindowSpec, make_window
+
+from conftest import data
+
+
+class TestWindowSpec:
+    def test_time_spec(self):
+        spec = WindowSpec.time(30.0)
+        assert spec.mode == "time" and spec.extent == 30.0
+        assert isinstance(spec.build(), TimeWindow)
+
+    def test_count_spec(self):
+        spec = WindowSpec.count(10)
+        assert isinstance(spec.build(), CountWindow)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ReproError):
+            WindowSpec("sliding", 10)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ReproError):
+            WindowSpec.time(0)
+        with pytest.raises(ReproError):
+            WindowSpec.time(-1)
+
+    def test_count_extent_must_be_integral(self):
+        with pytest.raises(ReproError):
+            WindowSpec("count", 2.5)
+
+    def test_make_window(self):
+        assert isinstance(make_window(WindowSpec.time(1.0)), TimeWindow)
+        assert isinstance(make_window(WindowSpec.count(1)), CountWindow)
+
+
+class TestTimeWindow:
+    def test_insert_and_iterate(self):
+        w = TimeWindow(10.0)
+        tuples = [data(1.0), data(2.0), data(2.0)]
+        for t in tuples:
+            w.insert(t)
+        assert list(w) == tuples and len(w) == 3
+
+    def test_out_of_order_insert_rejected(self):
+        w = TimeWindow(10.0)
+        w.insert(data(5.0))
+        with pytest.raises(ReproError):
+            w.insert(data(4.0))
+
+    def test_expire_drops_old(self):
+        w = TimeWindow(10.0)
+        for ts in (0.0, 5.0, 9.0, 15.0):
+            w.insert(data(ts))
+        dropped = w.expire(16.0)  # horizon 6.0
+        assert dropped == 2
+        assert [t.ts for t in w] == [9.0, 15.0]
+
+    def test_expire_boundary_is_inclusive(self):
+        """A tuple exactly ``span`` old is still in the window."""
+        w = TimeWindow(10.0)
+        w.insert(data(5.0))
+        assert w.expire(15.0) == 0
+        assert w.expire(15.0001) == 1
+
+    def test_matches_returns_all_live(self):
+        w = TimeWindow(10.0)
+        w.insert(data(1.0))
+        w.insert(data(2.0))
+        assert len(list(w.matches(3.0))) == 2
+
+    def test_invalid_span(self):
+        with pytest.raises(ReproError):
+            TimeWindow(0.0)
+
+
+class TestCountWindow:
+    def test_eviction_at_capacity(self):
+        w = CountWindow(3)
+        for ts in range(5):
+            w.insert(data(float(ts)))
+        assert [t.ts for t in w] == [2.0, 3.0, 4.0]
+
+    def test_expire_is_noop(self):
+        w = CountWindow(3)
+        w.insert(data(1.0))
+        assert w.expire(100.0) == 0
+        assert len(w) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ReproError):
+            CountWindow(0)
