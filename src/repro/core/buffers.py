@@ -16,7 +16,7 @@ size" metric (Figure 8) O(1) per enqueue/dequeue.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from .errors import TimestampError
 from .tuples import LATENT_TS, StreamElement
@@ -199,6 +199,78 @@ class StreamBuffer:
             self._data_live += 1
         if self._registry is not None:
             self._registry._delta(1)
+
+    def push_batch(self, elements: Sequence[StreamElement]) -> None:
+        """Append a run of ``elements`` at the tail in one operation.
+
+        Semantically identical to pushing each element in order, but the
+        order check, live-count bookkeeping, and registry update are done
+        once per run instead of once per element — the producer half of the
+        micro-batched execution path.
+        """
+        if not elements:
+            return
+        last = self._last_pushed_ts
+        punct = 0
+        for element in elements:
+            ts = element.ts
+            if ts != LATENT_TS:
+                if self._enforce_order and last != LATENT_TS and ts < last:
+                    raise TimestampError(
+                        f"buffer {self.name!r}: out-of-order push "
+                        f"({ts} after {last})"
+                    )
+                if ts > last:
+                    last = ts
+            if element.is_punctuation:
+                punct += 1
+        self._last_pushed_ts = last
+        self._items.extend(elements)
+        n = len(elements)
+        self._enqueued += n
+        self._punctuation_enqueued += punct
+        self._data_live += n - punct
+        if self._registry is not None:
+            self._registry._delta(n)
+
+    def drain_batch(self, limit: int,
+                    max_ts: float | None = None) -> list[StreamElement]:
+        """Dequeue a run of up to ``limit`` consecutive *data* tuples.
+
+        The run stops early — never crossing the boundary — at the first
+        punctuation tuple, so punctuation is always consumed one at a time
+        by the scalar path and batch boundaries coincide with ETS
+        information.  When ``max_ts`` is given the run additionally stops
+        before the first element stamped at or above it (latent elements,
+        which carry no timestamp, never stop a run).
+
+        The consumer-side TSM register is updated once, with the largest
+        timestamp in the run — exactly the value a pop-by-pop consumption
+        would have left behind.
+        """
+        items = self._items
+        out: list[StreamElement] = []
+        best = LATENT_TS
+        while items and len(out) < limit:
+            head = items[0]
+            if head.is_punctuation:
+                break
+            ts = head.ts
+            if ts != LATENT_TS:
+                if max_ts is not None and ts >= max_ts:
+                    break
+                if ts > best:
+                    best = ts
+            out.append(items.popleft())
+        if out:
+            if best != LATENT_TS:
+                self.register.update(best)
+            n = len(out)
+            self._dequeued += n
+            self._data_live -= n
+            if self._registry is not None:
+                self._registry._delta(-n)
+        return out
 
     def peek(self) -> StreamElement | None:
         """Return the head element without removing it, or None when empty.

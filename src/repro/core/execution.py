@@ -32,7 +32,7 @@ from typing import Callable
 from .errors import ExecutionError
 from .ets import EtsPolicy, NoEts
 from .graph import QueryGraph
-from .operators.base import OpContext, Operator, StepResult
+from .operators.base import BatchResult, OpContext, Operator, StepResult
 from .operators.source import SourceNode
 
 __all__ = ["EngineStats", "ExecutionEngine"]
@@ -85,6 +85,12 @@ class ExecutionEngine:
             ETS exists to reactivate idle-waiting operators, and generating
             one with nothing to unblock is pure overhead.  Set True for the
             fidelity ablation where every dead-ended backtrack offers.
+        batch_size: Micro-batch width.  1 (the default) is the paper's
+            tuple-at-a-time execution.  For N > 1 the Encore rule consumes a
+            whole run of up to N elements per execution step through
+            :meth:`Operator.execute_batch` — runs never cross a punctuation,
+            and the cost model still charges simulated CPU per tuple, so
+            batching changes wall-clock throughput, not ETS semantics.
         max_steps_per_round: Safety valve for logical-mode loops; None means
             unbounded (the cost model plus event horizon bound real runs).
     """
@@ -94,9 +100,14 @@ class ExecutionEngine:
                  idle_tracker=None,
                  deliver_due: Callable[[float], None] | None = None,
                  offer_ets_always: bool = False,
+                 batch_size: int = 1,
                  max_steps_per_round: int | None = None) -> None:
         if not graph.is_validated:
             graph.validate()
+        if batch_size < 1:
+            raise ExecutionError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
         self.graph = graph
         self.clock = clock
         self.cost_model = cost_model
@@ -104,6 +115,7 @@ class ExecutionEngine:
         self.idle_tracker = idle_tracker
         self.deliver_due = deliver_due
         self.offer_ets_always = offer_ets_always
+        self.batch_size = batch_size
         self.max_steps_per_round = max_steps_per_round
         self.stats = EngineStats()
         self.ctx = OpContext(clock=clock)
@@ -186,9 +198,14 @@ class ExecutionEngine:
                     continue  # the injected punctuation enables Forward
                 return progress
 
-            # [Execution Step]
+            # [Execution Step] — in batched mode the Encore rule consumes a
+            # whole run (up to batch_size elements, never across the next
+            # punctuation) per step instead of a single element.
             if execute and current.more():
-                self._step(current)
+                if self.batch_size > 1:
+                    self._step_batch(current)
+                else:
+                    self._step(current)
                 progress = True
 
             # [Continuation Step] — NOS rules
@@ -236,6 +253,31 @@ class ExecutionEngine:
                 stats.busy_time += cost
         self._refresh_idle()
         return result
+
+    def _step_batch(self, op: Operator) -> BatchResult:
+        """One micro-batched execution step: a run of scalar-equivalent steps.
+
+        Stats count scalar-equivalent steps and the cost model charges per
+        tuple, so EngineStats and simulated time stay comparable with the
+        scalar engine; only the Python dispatch is amortized.
+        """
+        batch = op.execute_batch(self.ctx, self.batch_size)
+        stats = self.stats
+        stats.steps += batch.steps
+        stats.data_steps += batch.consumed_data
+        stats.punct_steps += batch.consumed_punctuation
+        stats.probes += batch.probes
+        stats.emitted_data += batch.emitted_data
+        stats.emitted_punctuation += batch.emitted_punctuation
+        per_op = stats.per_operator_steps
+        per_op[op.name] = per_op.get(op.name, 0) + batch.steps
+        if self.cost_model is not None:
+            cost = self.cost_model.batch_cost(op, batch)
+            if cost:
+                self.clock.advance(cost)
+                stats.busy_time += cost
+        self._refresh_idle()
+        return batch
 
     # ------------------------------------------------------------------ #
     # ETS integration (the Backtrack-to-source hook)

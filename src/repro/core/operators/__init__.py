@@ -11,7 +11,7 @@ from .aggregate import (
     Sum,
     TumblingAggregate,
 )
-from .base import Clock, OpContext, Operator, StepResult
+from .base import BatchResult, Clock, OpContext, Operator, StepResult
 from .join import WindowJoin, merge_payloads
 from .map import FlatMap, Map
 from .project import Project
@@ -27,6 +27,7 @@ __all__ = [
     "AggSpec",
     "Aggregator",
     "Avg",
+    "BatchResult",
     "Clock",
     "Count",
     "FlatMap",

@@ -33,7 +33,7 @@ from ..tuples import Punctuation, StreamElement
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..schema import Schema
 
-__all__ = ["Clock", "OpContext", "StepResult", "Operator"]
+__all__ = ["BatchResult", "Clock", "OpContext", "StepResult", "Operator"]
 
 
 class Clock(Protocol):
@@ -73,6 +73,42 @@ class StepResult:
     @property
     def consumed_punctuation(self) -> bool:
         return self.consumed is not None and self.consumed.is_punctuation
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """What one micro-batched execution step (a run of elements) did.
+
+    The per-tuple accounting mirrors :class:`StepResult` so the cost model
+    can keep charging CPU per tuple — batching amortizes dispatch overhead,
+    it does not make tuples cheaper in simulated time.
+
+    Attributes:
+        steps: Scalar-equivalent execution steps this batch replaces.
+        consumed_data / consumed_punctuation: Elements removed from input
+            buffers, by kind.
+        probes: Window tuples examined across the whole run.
+        emitted_data / emitted_punctuation: Elements appended to output
+            buffers (counted once per logical emission, as in StepResult).
+    """
+
+    steps: int = 0
+    consumed_data: int = 0
+    consumed_punctuation: int = 0
+    probes: int = 0
+    emitted_data: int = 0
+    emitted_punctuation: int = 0
+
+    def add_step(self, result: StepResult) -> None:
+        """Fold one scalar step's result into this batch."""
+        self.steps += 1
+        if result.consumed_punctuation:
+            self.consumed_punctuation += 1
+        else:
+            self.consumed_data += 1
+        self.probes += result.probes
+        self.emitted_data += result.emitted_data
+        self.emitted_punctuation += result.emitted_punctuation
 
 
 @dataclass(slots=True)
@@ -189,6 +225,30 @@ class Operator:
         input element and may emit any number of output elements.
         """
         raise NotImplementedError
+
+    def execute_batch(self, ctx: OpContext, limit: int) -> BatchResult:
+        """Process up to ``limit`` input elements in one engine step.
+
+        The engine's micro-batched mode (``batch_size > 1``) calls this in
+        place of repeated :meth:`execute_step` dispatches.  Implementations
+        must be observationally identical to the scalar path: same elements
+        consumed in the same order, same emissions in the same order, only
+        the per-element dispatch amortized.
+
+        This default loops over :meth:`execute_step`, so every operator
+        keeps working without a specialized implementation.  The loop stops
+        at the batch boundary rules shared by all implementations: after
+        ``limit`` steps, when ``more`` turns false, or right after consuming
+        a punctuation tuple (batches never cross punctuation — ETS
+        information must reach the engine's NOS rules promptly).
+        """
+        batch = BatchResult()
+        while batch.steps < limit and self.more():
+            result = self.execute_step(ctx)
+            batch.add_step(result)
+            if result.consumed_punctuation:
+                break
+        return batch
 
     # ------------------------------------------------------------------ #
     # Emission helpers

@@ -24,7 +24,7 @@ from typing import Any
 
 from ..errors import ExecutionError
 from ..tuples import DataTuple
-from .base import OpContext
+from .base import BatchResult, OpContext, Operator
 from .stateless import StatelessOperator
 
 __all__ = ["Shed"]
@@ -68,6 +68,15 @@ class Shed(StatelessOperator):
         if self.queue_threshold is None:
             return True
         return len(self.inputs[0]) > self.queue_threshold
+
+    def execute_batch(self, ctx: OpContext, limit: int) -> BatchResult:
+        # Pressure-driven shedding reads the live input-buffer length per
+        # tuple; draining a whole run first would empty the buffer before the
+        # decisions are made and diverge from the scalar path.  Use the
+        # element-at-a-time fallback in that mode.
+        if self.queue_threshold is not None:
+            return Operator.execute_batch(self, ctx, limit)
+        return super().execute_batch(ctx, limit)
 
     def apply(self, tup: DataTuple, ctx: OpContext) -> list[Any]:
         if (self.probability > 0.0 and self._under_pressure()

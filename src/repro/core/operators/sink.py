@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..tuples import DataTuple
-from .base import Operator, OpContext, StepResult
+from .base import BatchResult, Operator, OpContext, StepResult
 
 __all__ = ["SinkNode"]
 
@@ -78,6 +78,41 @@ class SinkNode(Operator):
         if self.on_output is not None:
             self.on_output(element, latency)
         return StepResult(consumed=element, emitted_data=0)
+
+    def execute_batch(self, ctx: OpContext, limit: int) -> BatchResult:
+        """Micro-batched delivery: drain a run of data tuples in one step."""
+        batch = BatchResult()
+        buf = self.inputs[0]
+        while batch.steps < limit:
+            head = buf.peek()
+            if head is None:
+                break
+            if head.is_punctuation:
+                buf.pop()
+                self.punctuation_eliminated += 1
+                batch.steps += 1
+                batch.consumed_punctuation += 1
+                break  # punctuation is a batch boundary
+            run = buf.drain_batch(limit - batch.steps)
+            now = ctx.clock.now()
+            on_output = self.on_output
+            for element in run:
+                assert isinstance(element, DataTuple)
+                latency = now - element.arrival_ts
+                if latency == latency:  # not NaN
+                    self.latency_sum += latency
+                    self.latency_count += 1
+                    if latency > self.latency_max:
+                        self.latency_max = latency
+                if on_output is not None:
+                    on_output(element, latency)
+            n = len(run)
+            self.delivered += n
+            if self.keep_outputs:
+                self.outputs_seen.extend(run)  # type: ignore[arg-type]
+            batch.steps += n
+            batch.consumed_data += n
+        return batch
 
     @property
     def mean_latency(self) -> float:

@@ -121,9 +121,16 @@ class ExpressionParser:
     a shared token list and cursor.
     """
 
+    #: Maximum grammar recursion depth.  The parser is recursive-descent, so
+    #: pathological inputs like ``"(" * 10_000 + "1"`` or long ``not`` chains
+    #: would otherwise hit Python's recursion limit and crash instead of
+    #: reporting a parse error.
+    MAX_DEPTH = 100
+
     def __init__(self, tokens: list[Token], start: int = 0) -> None:
         self.tokens = tokens
         self.i = start
+        self._depth = 0
 
     # ------------------------------------------------------------------ #
     # Cursor helpers
@@ -162,7 +169,18 @@ class ExpressionParser:
     # Grammar
 
     def parse_expression(self) -> Evaluator:
-        return self._or()
+        self._depth += 1
+        if self._depth > self.MAX_DEPTH:
+            token = self.peek()
+            pos = token.pos if token is not None else -1
+            raise QueryLanguageError(
+                f"expression nested deeper than {self.MAX_DEPTH} levels "
+                f"at position {pos}"
+            )
+        try:
+            return self._or()
+        finally:
+            self._depth -= 1
 
     def _or(self) -> Evaluator:
         left = self._and()
@@ -181,10 +199,16 @@ class ExpressionParser:
         return left
 
     def _not(self) -> Evaluator:
-        if self.accept("keyword", "not"):
-            inner = self._not()
+        # Iterative on purpose: "not not not ..." must not recurse.
+        negations = 0
+        while self.accept("keyword", "not"):
+            negations += 1
+        inner = self._comparison()
+        if not negations:
+            return inner
+        if negations % 2:
             return lambda env: not inner(env)
-        return self._comparison()
+        return lambda env: bool(inner(env))
 
     def _comparison(self) -> Evaluator:
         left = self._additive()
@@ -226,12 +250,20 @@ class ExpressionParser:
                 left, right, fn)
 
     def _unary(self) -> Evaluator:
-        token = self.peek()
-        if token is not None and token.kind == "op" and token.text == "-":
+        # Iterative on purpose: "- - - ..." must not recurse.
+        minuses = 0
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "op" or token.text != "-":
+                break
             self.next()
-            inner = self._unary()
+            minuses += 1
+        inner = self._primary()
+        if not minuses:
+            return inner
+        if minuses % 2:
             return lambda env: -inner(env)
-        return self._primary()
+        return lambda env: +inner(env)
 
     def _primary(self) -> Evaluator:
         token = self.next()

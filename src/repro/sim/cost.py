@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..core.operators.base import Operator, StepResult
+    from ..core.operators.base import BatchResult, Operator, StepResult
 
 __all__ = ["CostModel", "DEFAULT_DATA_COSTS", "DEFAULT_PUNCT_COSTS"]
 
@@ -95,3 +95,17 @@ class CostModel:
         else:
             base = self.data_costs.get(op.cost_class, self.default_data_cost)
         return base + result.probes * self.per_probe
+
+    def batch_cost(self, op: "Operator", batch: "BatchResult") -> float:
+        """Simulated seconds consumed by one micro-batched execution step.
+
+        Batching amortizes Python dispatch (wall-clock), not simulated CPU:
+        every tuple in the run is charged its full scalar step cost, so
+        simulated-time results stay comparable between the scalar and
+        batched engines.
+        """
+        data = self.data_costs.get(op.cost_class, self.default_data_cost)
+        punct = self.punct_costs.get(op.cost_class, self.default_punct_cost)
+        return (batch.consumed_data * data
+                + batch.consumed_punctuation * punct
+                + batch.probes * self.per_probe)

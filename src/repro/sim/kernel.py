@@ -67,6 +67,11 @@ class Simulation:
         start_time: Initial virtual-clock value.
         track_idle: Maintain an :class:`IdleTracker` over the IWP operators.
         offer_ets_always: Forwarded to the engine (fidelity ablation).
+        batch_size: Micro-batch width forwarded to the engine; 1 (default)
+            is tuple-at-a-time execution, N > 1 lets each Encore step
+            consume a run of up to N elements (never across a punctuation).
+            The ``deliver_due`` hook then runs once per batch rather than
+            once per tuple, which is exactly the amortization being bought.
     """
 
     def __init__(self, graph: QueryGraph, *,
@@ -76,6 +81,7 @@ class Simulation:
                  start_time: float = 0.0,
                  track_idle: bool = True,
                  offer_ets_always: bool = False,
+                 batch_size: int = 1,
                  max_steps_per_round: int | None = None,
                  engine_cls: type[ExecutionEngine] = ExecutionEngine,
                  engine_kwargs: dict | None = None) -> None:
@@ -87,6 +93,9 @@ class Simulation:
         self.events = EventQueue()
         self.idle_tracker = (IdleTracker(graph.iwp_operators(), start_time)
                              if track_idle else None)
+        merged_kwargs = dict(engine_kwargs or {})
+        if batch_size != 1:
+            merged_kwargs.setdefault("batch_size", batch_size)
         self.engine = engine_cls(
             graph, self.clock,
             cost_model=self.cost_model,
@@ -95,7 +104,7 @@ class Simulation:
             deliver_due=self._deliver_due,
             offer_ets_always=offer_ets_always,
             max_steps_per_round=max_steps_per_round,
-            **(engine_kwargs or {}),
+            **merged_kwargs,
         )
         self.periodic = periodic
         self._arrival_iters: dict[str, Iterator[Arrival]] = {}

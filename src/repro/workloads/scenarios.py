@@ -65,6 +65,8 @@ class ScenarioConfig:
             ETS generator (X3 bench); ``external_skew`` is the workload's
             max timestamp lag and ``ets_delta`` the generator's bound.
         cost_model: CPU pricing; None selects the calibrated default.
+        batch_size: Micro-batch width of the execution engine (1 = the
+            paper's tuple-at-a-time mode; N > 1 enables the batched path).
         engine_cls / engine_kwargs: Alternative execution engine (e.g.
             :class:`~repro.core.scheduling.RoundRobinEngine`) for the X4
             scheduling ablation; None selects the paper's DFS engine.
@@ -84,6 +86,7 @@ class ScenarioConfig:
     ets_delta: float = 0.0
     offer_ets_always: bool = False
     cost_model: CostModel | None = None
+    batch_size: int = 1
     engine_cls: type | None = None
     engine_kwargs: dict | None = None
 
@@ -174,6 +177,7 @@ def _make_simulation(config: ScenarioConfig, graph: QueryGraph,
         periodic=config.make_periodic(slow.name, fast.name),
         cost_model=config.cost_model,
         offer_ets_always=config.offer_ets_always,
+        batch_size=config.batch_size,
         **kwargs,
     )
 

@@ -1,0 +1,243 @@
+"""Differential correctness oracle for the micro-batched execution path.
+
+The batched engine is only worth having if it is *observationally identical*
+to the scalar engine: same data tuples, same payloads, same timestamps, in
+the same order at every sink.  Likewise, ETS policies may only change
+*timing* (latency, memory), never the data a query delivers.  This module
+packages both claims as an executable oracle:
+
+* :class:`DifferentialOracle` replays one deterministic feed schedule
+  through freshly built copies of the same query graph under different
+  engine configurations (scalar vs batched, NoEts vs OnDemandEts vs manual
+  periodic punctuation) and compares the canonicalized sink sequences.
+* The replay is *chunked*: several arrivals are ingested between engine
+  wake-ups, so input buffers genuinely hold runs of tuples and the batched
+  drains are exercised for real (a pure event-per-tuple drive would only
+  ever produce runs of length one).
+
+All runs use a free CPU (``cost_model=None``) so virtual time is driven
+exclusively by the feed schedule and outputs are bit-comparable across
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.ets import EtsPolicy, NoEts, OnDemandEts
+from repro.core.execution import ExecutionEngine
+from repro.core.graph import QueryGraph
+from repro.core.operators.sink import SinkNode
+from repro.core.operators.source import SourceNode
+from repro.sim.clock import VirtualClock
+
+__all__ = ["Feed", "DifferentialOracle", "SinkRecord"]
+
+#: Canonical record of one delivered tuple: (sink name, timestamp, payload).
+SinkRecord = tuple[str, float, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class Feed:
+    """One scheduled arrival of the oracle's deterministic workload.
+
+    Attributes:
+        source: Name of the source node receiving the tuple.
+        time: Virtual-clock instant of the arrival (non-decreasing across
+            the schedule).
+        payload: The record.
+        external_ts: Application timestamp for externally timestamped
+            sources; None otherwise.
+    """
+
+    source: str
+    time: float
+    payload: Any = None
+    external_ts: float | None = None
+
+
+def _chunks(seq: Sequence[Feed], size: int) -> Iterable[Sequence[Feed]]:
+    for i in range(0, len(seq), size):
+        yield seq[i:i + size]
+
+
+class DifferentialOracle:
+    """Replay one workload through engine variants; assert identical output.
+
+    Args:
+        build: Zero-argument factory returning a *fresh* :class:`QueryGraph`
+            per run (graphs hold operator state and cannot be reused).
+        feeds: The deterministic, time-ordered arrival schedule.
+        chunk: Arrivals ingested between engine wake-ups.  Held constant
+            across compared variants — chunking decides what is buffered
+            when, which legitimately affects tie-breaking among equal
+            timestamps; the oracle isolates the engine variable instead.
+        punctuate_every: When set, every punctuated source injects a
+            punctuation stamped with the current clock after each
+            ``punctuate_every`` chunks — a deterministic stand-in for
+            scenario B's periodic heartbeats.
+    """
+
+    def __init__(self, build: Callable[[], QueryGraph], feeds: Sequence[Feed],
+                 *, chunk: int = 32, punctuate_every: int | None = None) -> None:
+        self.build = build
+        self.feeds = list(feeds)
+        self.chunk = chunk
+        self.punctuate_every = punctuate_every
+
+    # ------------------------------------------------------------------ #
+    # Running one variant
+
+    def run(self, *, batch_size: int = 1,
+            ets_policy: EtsPolicy | None = None,
+            punctuate: bool = False, eos: bool = True) -> list[SinkRecord]:
+        """Replay the schedule under one engine configuration.
+
+        After the schedule, an end-of-stream punctuation is injected on
+        every source (``eos=True``) so each variant drains completely —
+        without it, NoEts legitimately strands enabled-but-ungated tuples
+        at quiescence and delivery *sets* would differ across policies.
+
+        Returns the canonical sink sequence: delivered data tuples as
+        ``(sink_name, ts, payload)`` triples, in delivery order, sinks in
+        name order.
+        """
+        graph = self.build()
+        traces: dict[str, list[SinkRecord]] = {}
+        for sink in sorted(graph.sinks(), key=lambda s: s.name):
+            traces[sink.name] = self._capture(sink)
+        clock = VirtualClock()
+        engine = ExecutionEngine(
+            graph, clock,
+            cost_model=None,
+            ets_policy=ets_policy if ets_policy is not None else NoEts(),
+            batch_size=batch_size,
+        )
+        sources = {src.name: src for src in graph.sources()}
+        for chunk_no, group in enumerate(_chunks(self.feeds, self.chunk), 1):
+            entry: SourceNode | None = None
+            for feed in group:
+                clock.advance_to(feed.time)
+                source = sources[feed.source]
+                source.ingest(feed.payload, now=clock.now(),
+                              ts=feed.external_ts, arrival=feed.time)
+                entry = source
+            if (punctuate and self.punctuate_every
+                    and chunk_no % self.punctuate_every == 0):
+                for source in sources.values():
+                    source.inject_punctuation(
+                        clock.now(), origin=f"oracle:{source.name}",
+                        periodic=True)
+            engine.wakeup(entry)
+        if eos:
+            final_ts = clock.now() + 1.0
+            for name in sorted(sources):
+                sources[name].inject_punctuation(
+                    final_ts, origin=f"oracle-eos:{name}")
+        engine.wakeup()
+        out: list[SinkRecord] = []
+        for name in sorted(traces):
+            out.extend(traces[name])
+        return out
+
+    @staticmethod
+    def _capture(sink: SinkNode) -> list[SinkRecord]:
+        trace: list[SinkRecord] = []
+        previous = sink.on_output
+
+        def record(tup, latency) -> None:
+            trace.append((sink.name, tup.ts, tup.payload))
+            if previous is not None:
+                previous(tup, latency)
+
+        sink.on_output = record
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # Differential assertions
+
+    def assert_batched_equals_scalar(
+            self, batch_sizes: Sequence[int] = (2, 3, 8, 64),
+            ets_policy_factory: Callable[[], EtsPolicy] | None = None,
+            *, canonical: bool = False) -> None:
+        """Batched engines must reproduce the scalar sink sequence exactly.
+
+        ``canonical=True`` compares up to permutation of equal-timestamp
+        tuples instead.  Use it for workloads with cross-input timestamp
+        ties: when two inputs hold equal timestamps, the scalar merge order
+        depends on upstream one-tuple-at-a-time scheduling (a tuple not yet
+        forwarded cannot be picked) while batching fills buffers in runs —
+        both interleavings are valid stream outputs.  Tie-free workloads
+        should keep the default byte-exact comparison.
+        """
+        def policy() -> EtsPolicy:
+            return ets_policy_factory() if ets_policy_factory else NoEts()
+
+        norm = _canonical if canonical else (lambda records: records)
+        reference = norm(self.run(batch_size=1, ets_policy=policy()))
+        for size in batch_sizes:
+            got = norm(self.run(batch_size=size, ets_policy=policy()))
+            _assert_same(reference, got,
+                         f"batch_size={size} diverged from scalar")
+
+    def assert_ets_invariant(self, *, batch_size: int = 1,
+                             external_delta: float = 0.0) -> None:
+        """ETS must change timing only: NoEts, OnDemandEts, and periodic
+        punctuation all deliver the same data, in timestamp order.
+
+        Cross-policy comparison canonicalizes ties: two tuples sharing a
+        timestamp may be enabled in either order depending on *when* a
+        punctuation unblocked the merge — both interleavings are valid
+        stream outputs, so equal-timestamp runs are sorted into a canonical
+        order before comparing.  (Batch-vs-scalar comparisons stay exact:
+        same policy ⇒ same tie decisions.)
+        """
+        reference = _canonical(
+            self.run(batch_size=batch_size, ets_policy=NoEts()))
+        on_demand = _canonical(self.run(
+            batch_size=batch_size,
+            ets_policy=OnDemandEts(external_delta=external_delta)))
+        _assert_same(reference, on_demand,
+                     f"OnDemandEts changed sink data (batch_size={batch_size})")
+        if self.punctuate_every:
+            periodic = _canonical(
+                self.run(batch_size=batch_size, ets_policy=NoEts(),
+                         punctuate=True))
+            _assert_same(reference, periodic,
+                         f"periodic punctuation changed sink data "
+                         f"(batch_size={batch_size})")
+
+    def assert_all(self, batch_sizes: Sequence[int] = (2, 3, 8, 64),
+                   *, external_delta: float = 0.0) -> None:
+        """The full oracle: batch invariance under NoEts and OnDemandEts,
+        plus the ETS invariant at scalar and one batched width."""
+        self.assert_batched_equals_scalar(batch_sizes)
+        self.assert_batched_equals_scalar(
+            batch_sizes, ets_policy_factory=lambda: OnDemandEts(
+                external_delta=external_delta))
+        self.assert_ets_invariant(external_delta=external_delta)
+        self.assert_ets_invariant(batch_size=max(batch_sizes),
+                                  external_delta=external_delta)
+
+
+def _canonical(records: list[SinkRecord]) -> list[SinkRecord]:
+    """Sort into (sink, ts, payload-repr) order — a total order that leaves
+    already-timestamp-ordered traces intact except for tie permutations."""
+    return sorted(records, key=lambda r: (r[0], r[1], repr(r[2])))
+
+
+def _assert_same(reference: list[SinkRecord], got: list[SinkRecord],
+                 label: str) -> None:
+    if reference == got:
+        return
+    detail = [f"{label}: {len(reference)} reference vs {len(got)} actual tuples"]
+    for i, (ref, act) in enumerate(zip(reference, got)):
+        if ref != act:
+            detail.append(f"first divergence at index {i}: {ref!r} != {act!r}")
+            break
+    else:
+        longer = reference if len(reference) > len(got) else got
+        idx = min(len(reference), len(got))
+        detail.append(f"extra tuple at index {idx}: {longer[idx]!r}")
+    raise AssertionError("\n".join(detail))

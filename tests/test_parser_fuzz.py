@@ -1,0 +1,141 @@
+"""Fuzz tests for the mini query language.
+
+A parser fed hostile input must fail *cleanly*: every rejection surfaces as
+a :class:`~repro.core.errors.QueryLanguageError` (or another
+:class:`~repro.core.errors.ReproError`), never as an IndexError,
+RecursionError, UnboundLocalError, or other accidental crash — those are
+the bugs fuzzing exists to find.  Three generators attack
+:func:`compile_query`, :func:`tokenize`, and :func:`compile_expression`:
+
+* purely random byte soup (printable and not);
+* mutations of a known-good query (character flips, deletions, splices,
+  duplicated/reordered lines, truncations);
+* structured near-misses (valid keywords in invalid arrangements).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ReproError
+from repro.query.language import compile_query
+from repro.query.parser import compile_expression, tokenize
+
+GOOD_QUERY = """
+STREAM fast (seq int, value float) TIMESTAMP INTERNAL;
+STREAM slow (seq int, value float);
+s1 = SELECT * FROM fast WHERE value < 0.95;
+s2 = SELECT * FROM slow WHERE value < 0.95;
+merged = UNION s1, s2;
+SINK merged AS out;
+"""
+
+KEYWORDS = ["STREAM", "SELECT", "FROM", "WHERE", "UNION", "JOIN", "SINK",
+            "AS", "TIMESTAMP", "INTERNAL", "EXTERNAL", "LATENT", "WINDOW",
+            "AND", "OR", "NOT", "(", ")", ",", ";", "=", "<", ">", "*",
+            "fast", "slow", "value", "0.95", "'str", "\"q", "..", "1e999"]
+
+ALPHABET = string.printable + "\x00\x7fé☃"
+
+
+def _assert_clean(fn, text: str) -> None:
+    """Parsing either succeeds or raises a ReproError — nothing else."""
+    try:
+        fn(text)
+    except ReproError:
+        pass
+    except RecursionError as exc:  # pragma: no cover - a real finding
+        raise AssertionError(
+            f"parser blew the stack on {text[:80]!r}") from exc
+    except Exception as exc:  # pragma: no cover - a real finding
+        raise AssertionError(
+            f"parser crashed with {type(exc).__name__}: {exc!r} "
+            f"on input {text[:120]!r}") from exc
+
+
+def mutate(rng: random.Random, text: str) -> str:
+    chars = list(text)
+    for _ in range(rng.randint(1, 8)):
+        op = rng.randrange(5)
+        if not chars:
+            break
+        i = rng.randrange(len(chars))
+        if op == 0:  # flip one character
+            chars[i] = rng.choice(ALPHABET)
+        elif op == 1:  # delete a span
+            del chars[i:i + rng.randint(1, 12)]
+        elif op == 2:  # splice random garbage
+            chars[i:i] = rng.choices(ALPHABET, k=rng.randint(1, 12))
+        elif op == 3:  # duplicate a span elsewhere
+            span = chars[i:i + rng.randint(1, 20)]
+            chars[rng.randrange(len(chars) + 1):0] = span
+        else:  # truncate
+            chars = chars[:i]
+    return "".join(chars)
+
+
+# --------------------------------------------------------------------- #
+# compile_query
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_fuzz_compile_query_mutations(seed: int):
+    rng = random.Random(seed)
+    for _ in range(25):
+        _assert_clean(compile_query, mutate(rng, GOOD_QUERY))
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_fuzz_compile_query_keyword_soup(seed: int):
+    rng = random.Random(seed ^ 0xBEEF)
+    for _ in range(25):
+        text = " ".join(rng.choices(KEYWORDS, k=rng.randint(1, 40)))
+        if rng.random() < 0.5:
+            text = text.replace(" ", "\n", rng.randint(0, 5))
+        _assert_clean(compile_query, text + rng.choice(["", ";", " ;"]))
+
+
+@given(st.text(alphabet=ALPHABET, max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_fuzz_compile_query_random_text(text: str):
+    _assert_clean(compile_query, text)
+
+
+def test_good_query_still_compiles():
+    # Guard against the fuzz fixture rotting: the seed corpus must be valid.
+    compiled = compile_query(GOOD_QUERY)
+    assert compiled is not None
+
+
+# --------------------------------------------------------------------- #
+# tokenize / compile_expression
+
+
+@given(st.text(alphabet=ALPHABET, max_size=120))
+@settings(max_examples=200, deadline=None)
+def test_fuzz_tokenize_random_text(text: str):
+    _assert_clean(tokenize, text)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_fuzz_expression_mutations(seed: int):
+    rng = random.Random(seed ^ 0xFACE)
+    base = "value < 0.95 and (seq + 1) * 2 >= 10 or not flag"
+    for _ in range(30):
+        _assert_clean(compile_expression, mutate(rng, base))
+
+
+@pytest.mark.parametrize("text", [
+    "", "(", ")", "((((((((((", "1 +", "+ 1", "not", "and and", "a b c",
+    "1 ..", "'unterminated", "\x00", "𝕊ELECT", "1e",
+    "(" * 500 + "1" + ")" * 500,  # deep but balanced nesting
+    "(" * 10_000,                 # deep and unbalanced
+    "not " * 5_000 + "x",         # deep negation chain
+    "- " * 5_000 + "1",           # deep unary-minus chain
+])
+def test_expression_edge_inputs_fail_cleanly(text: str):
+    _assert_clean(compile_expression, text)
