@@ -105,6 +105,37 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--rates", type=str,
                           default="0.1,1,10,100,1000,4000")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-inject the union scenario and report recovery metrics")
+    chaos.add_argument("--duration", type=float, default=120.0,
+                       help="simulated seconds (default 120)")
+    chaos.add_argument("--rate-fast", type=float, default=50.0)
+    chaos.add_argument("--rate-slow", type=float, default=0.5)
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument("--external", action="store_true",
+                       help="externally timestamped streams + skew-bound ETS")
+    chaos.add_argument("--outage-start", type=float, default=30.0)
+    chaos.add_argument("--outage-duration", type=float, default=30.0)
+    chaos.add_argument("--outage-mode", choices=("drop", "defer"),
+                       default="drop")
+    chaos.add_argument("--skew-spike", type=float, default=0.0,
+                       help="clock-skew spike magnitude in seconds (0 = off)")
+    chaos.add_argument("--drop-probability", type=float, default=0.0)
+    chaos.add_argument("--stall-timeout", type=float, default=2.0,
+                       help="silence before a source is degraded")
+    chaos.add_argument("--heartbeat-period", type=float, default=0.5,
+                       help="fallback heartbeat period once degraded")
+    chaos.add_argument("--quarantine", choices=("raise", "drop", "clamp"),
+                       default="clamp")
+    chaos.add_argument("--base-ets", choices=("on-demand", "none"),
+                       default="on-demand",
+                       help="healthy-path ETS policy under the ladder")
+    chaos.add_argument("--no-degrade", action="store_true",
+                       help="baseline: on-demand ETS without the fallback "
+                            "ladder")
+    chaos.add_argument("--batch-size", type=int, default=1)
+
     run = sub.add_parser(
         "run", help="compile and run a query-language program")
     run.add_argument("program", help="path to the .esl program file")
@@ -212,6 +243,32 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .experiments.chaos import ChaosConfig, run_chaos_experiment
+
+    config = ChaosConfig(
+        duration=args.duration, rate_fast=args.rate_fast,
+        rate_slow=args.rate_slow, seed=args.seed, external=args.external,
+        outage_start=args.outage_start, outage_duration=args.outage_duration,
+        outage_mode=args.outage_mode, skew_spike=args.skew_spike,
+        drop_probability=args.drop_probability,
+        stall_timeout=args.stall_timeout,
+        heartbeat_period=args.heartbeat_period,
+        quarantine_mode=args.quarantine, degrade=not args.no_degrade,
+        base_ets=args.base_ets, batch_size=args.batch_size)
+    report = run_chaos_experiment(config)
+    base = ("on-demand ETS" if config.base_ets == "on-demand" else "no ETS")
+    ladder = (f"{base} + fallback heartbeats"
+              if config.degrade else f"{base} only (baseline)")
+    print(format_table(
+        ["metric", "value"], [list(r) for r in report.rows()],
+        title=f"chaos: fast-stream outage "
+              f"[{config.outage_start:g}s, "
+              f"{config.outage_start + config.outage_duration:g}s) — "
+              f"{ladder}"))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     with open(args.program) as f:
         text = f.read()
@@ -267,6 +324,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "profile": _cmd_profile,
         "dot": _cmd_dot,
         "validate": _cmd_validate,
+        "chaos": _cmd_chaos,
         "run": _cmd_run,
     }
     try:

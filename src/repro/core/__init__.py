@@ -4,6 +4,7 @@ from .buffers import BufferRegistry, StreamBuffer, TSMRegister
 from .errors import (
     ExecutionError,
     GraphError,
+    InvariantViolation,
     PolicyError,
     QueryLanguageError,
     ReproError,
@@ -45,6 +46,7 @@ __all__ = [
     "Field",
     "GraphError",
     "InternalClockEts",
+    "InvariantViolation",
     "LATENT_TS",
     "NoEts",
     "OnDemandEts",

@@ -76,6 +76,16 @@ class BufferRegistry:
         self._total = 0
         self._peak = 0
         self._observer: Callable[[int], None] | None = None
+        #: Optional callback invoked with structured fields *before* an
+        #: ingest/order violation raises — the hook tracing and fault
+        #: monitors use to emit a trace event even when the error is about
+        #: to unwind the stack.  Signature: ``on_violation(**fields)``.
+        self.on_violation: Callable[..., None] | None = None
+
+    def notify_violation(self, **fields) -> None:
+        """Report a violation (about to raise) to the installed observer."""
+        if self.on_violation is not None:
+            self.on_violation(**fields)
 
     @property
     def total(self) -> int:
@@ -112,7 +122,8 @@ class StreamBuffer:
     """
 
     def __init__(self, name: str = "", registry: BufferRegistry | None = None,
-                 *, enforce_order: bool = True) -> None:
+                 *, enforce_order: bool = True,
+                 consumer_name: str = "", consumer_port: int = 0) -> None:
         """Create an empty buffer.
 
         Args:
@@ -123,8 +134,14 @@ class StreamBuffer:
                 :class:`TimestampError`.  The engine relies on the
                 streams-are-ordered property throughout (paper Section 1),
                 so violations are bugs and surface loudly.
+            consumer_name / consumer_port: The operator and input-port index
+                this buffer feeds; carried as structured fields on order
+                violations so handlers can locate the failure without
+                parsing buffer names.
         """
         self.name = name
+        self.consumer_name = consumer_name
+        self.consumer_port = consumer_port
         self.register = TSMRegister()
         self._items: deque[StreamElement] = deque()
         self._registry = registry
@@ -150,6 +167,11 @@ class StreamBuffer:
     @property
     def is_empty(self) -> bool:
         return not self._items
+
+    @property
+    def registry(self) -> BufferRegistry | None:
+        """The aggregate registry this buffer reports to (None standalone)."""
+        return self._registry
 
     @property
     def enqueued_count(self) -> int:
@@ -179,16 +201,26 @@ class StreamBuffer:
     # ------------------------------------------------------------------ #
     # Production / consumption
 
+    def _order_violation(self, ts: float, last: float) -> TimestampError:
+        """Build (and pre-announce) a structured out-of-order error."""
+        fields = dict(operator=self.consumer_name or self.name,
+                      port=self.consumer_port,
+                      offending_ts=ts, last_seen_ts=last,
+                      buffer=self.name, kind="out-of-order")
+        if self._registry is not None:
+            self._registry.notify_violation(**fields)
+        return TimestampError(
+            f"buffer {self.name!r}: out-of-order push ({ts} after {last})",
+            **fields,
+        )
+
     def push(self, element: StreamElement) -> None:
         """Append ``element`` at the tail (production)."""
         ts = element.ts
         if ts != LATENT_TS:
             if self._enforce_order and self._last_pushed_ts != LATENT_TS \
                     and ts < self._last_pushed_ts:
-                raise TimestampError(
-                    f"buffer {self.name!r}: out-of-order push "
-                    f"({ts} after {self._last_pushed_ts})"
-                )
+                raise self._order_violation(ts, self._last_pushed_ts)
             if ts > self._last_pushed_ts:
                 self._last_pushed_ts = ts
         self._items.append(element)
@@ -216,10 +248,7 @@ class StreamBuffer:
             ts = element.ts
             if ts != LATENT_TS:
                 if self._enforce_order and last != LATENT_TS and ts < last:
-                    raise TimestampError(
-                        f"buffer {self.name!r}: out-of-order push "
-                        f"({ts} after {last})"
-                    )
+                    raise self._order_violation(ts, last)
                 if ts > last:
                     last = ts
             if element.is_punctuation:

@@ -4,13 +4,52 @@ Every error raised by the library derives from :class:`ReproError`, so client
 code can catch a single base class.  Sub-classes are grouped by the subsystem
 that raises them (schemas, graphs, execution, timestamps) to keep diagnostics
 precise without forcing callers to import many names.
+
+Errors raised on the ingest/buffer hot paths carry *structured* context in
+:attr:`ReproError.fields` (operator name, port index, offending timestamp,
+last-seen timestamp, …) so that fault handlers, quarantine policies, and
+chaos tests can react to the violation programmatically instead of parsing
+the message.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro DSMS library."""
+    """Base class for all errors raised by the repro DSMS library.
+
+    Args:
+        message: Human-readable description.
+        **fields: Structured context (e.g. ``operator=``, ``port=``,
+            ``offending_ts=``, ``last_seen_ts=``), exposed as
+            :attr:`fields` and via the named convenience properties.
+    """
+
+    def __init__(self, message: str = "", **fields: Any) -> None:
+        super().__init__(message)
+        self.fields: dict[str, Any] = fields
+
+    @property
+    def operator(self) -> str | None:
+        """Name of the operator (or buffer consumer) where the error arose."""
+        return self.fields.get("operator")
+
+    @property
+    def port(self) -> int | None:
+        """Input-port index on :attr:`operator`, when applicable."""
+        return self.fields.get("port")
+
+    @property
+    def offending_ts(self) -> float | None:
+        """The timestamp that violated a rule, when applicable."""
+        return self.fields.get("offending_ts")
+
+    @property
+    def last_seen_ts(self) -> float | None:
+        """The last accepted timestamp before the violation, when applicable."""
+        return self.fields.get("last_seen_ts")
 
 
 class SchemaError(ReproError):
@@ -19,6 +58,15 @@ class SchemaError(ReproError):
 
 class TimestampError(ReproError):
     """A timestamp rule was violated (e.g. out-of-order data on an ordered stream)."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant monitor detected a broken engine invariant.
+
+    Raised only when the monitor runs in ``halt`` mode; in ``degrade`` mode
+    violations are counted and traced instead (see
+    :mod:`repro.faults.monitors`).
+    """
 
 
 class GraphError(ReproError):

@@ -13,6 +13,13 @@ property of the streams themselves:
   invokes the policy when it reaches a source with an empty buffer, and the
   generated punctuation rides down exactly the path that was backtracked.
 * **D — latent timestamps**: no policy involved; latent streams never gate.
+
+All of these assume live, well-behaved sources.  When a source can die or
+its clock can misbehave, any policy here can be wrapped in the degradation
+ladder from :mod:`repro.faults.degrade` (stall detection → fallback
+heartbeat trains → quarantine), which delegates to the wrapped policy on
+the healthy path and takes over stamp generation only while a source is
+flagged as stalled (see DESIGN.md §4c).
 """
 
 from __future__ import annotations

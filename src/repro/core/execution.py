@@ -51,6 +51,13 @@ class EngineStats:
         ets_offers: Times a stalled source consulted the ETS policy.
         ets_injected: Times the policy actually injected a punctuation.
         busy_time: Simulated CPU seconds consumed by operator steps.
+        degradations / resyncs: Sources switched to fallback heartbeats by
+            the stall detector, and switched back on recovery.
+        fallback_heartbeats: Punctuation injected by fallback trains.
+        quarantine_dropped / quarantine_clamped: Regressed-timestamp tuples
+            absorbed by the quarantine policy instead of crashing ingest.
+        invariant_violations: Violations the invariant monitor recorded in
+            degrade mode (halt mode raises instead of counting here).
     """
 
     rounds: int = 0
@@ -63,6 +70,12 @@ class EngineStats:
     busy_time: float = 0.0
     emitted_data: int = 0
     emitted_punctuation: int = 0
+    degradations: int = 0
+    resyncs: int = 0
+    fallback_heartbeats: int = 0
+    quarantine_dropped: int = 0
+    quarantine_clamped: int = 0
+    invariant_violations: int = 0
     per_operator_steps: dict[str, int] = field(default_factory=dict)
 
 
@@ -91,6 +104,10 @@ class ExecutionEngine:
             :meth:`Operator.execute_batch` — runs never cross a punctuation,
             and the cost model still charges simulated CPU per tuple, so
             batching changes wall-clock throughput, not ETS semantics.
+        monitor: Optional :class:`~repro.faults.monitors.InvariantMonitor`
+            (already installed on the graph); its per-round checks run at
+            the end of every wake-up, and degrade-mode violations are
+            counted into :attr:`EngineStats.invariant_violations`.
         max_steps_per_round: Safety valve for logical-mode loops; None means
             unbounded (the cost model plus event horizon bound real runs).
     """
@@ -101,6 +118,7 @@ class ExecutionEngine:
                  deliver_due: Callable[[float], None] | None = None,
                  offer_ets_always: bool = False,
                  batch_size: int = 1,
+                 monitor=None,
                  max_steps_per_round: int | None = None) -> None:
         if not graph.is_validated:
             graph.validate()
@@ -116,6 +134,7 @@ class ExecutionEngine:
         self.deliver_due = deliver_due
         self.offer_ets_always = offer_ets_always
         self.batch_size = batch_size
+        self.monitor = monitor
         self.max_steps_per_round = max_steps_per_round
         self.stats = EngineStats()
         self.ctx = OpContext(clock=clock)
@@ -170,6 +189,11 @@ class ExecutionEngine:
                     "round; livelock or undersized budget"
                 )
         self._refresh_idle()
+        if self.monitor is not None:
+            # Halt-mode monitors raise out of the wake-up; degrade-mode
+            # violations are only counted (and traced by the monitor).
+            self.stats.invariant_violations += self.monitor.check(
+                self.clock.now())
 
     def run_to_quiescence(self) -> None:
         """Alias for ``wakeup()`` with no entry hint (useful in tests)."""

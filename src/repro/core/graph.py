@@ -67,10 +67,12 @@ class QueryGraph:
     def add_source(self, name: str,
                    timestamp_kind: TimestampKind = TimestampKind.INTERNAL,
                    *, out_of_order: bool = False,
-                   output_schema=None) -> SourceNode:
+                   output_schema=None,
+                   validate_schema: bool = False) -> SourceNode:
         """Create and register a source node."""
         source = SourceNode(name, timestamp_kind, out_of_order=out_of_order,
-                            output_schema=output_schema)
+                            output_schema=output_schema,
+                            validate_schema=validate_schema)
         self.add(source)
         return source
 
@@ -97,6 +99,8 @@ class QueryGraph:
             name=f"{producer.name}->{consumer.name}",
             registry=self.registry,
             enforce_order=enforce_order,
+            consumer_name=consumer.name,
+            consumer_port=len(consumer.inputs),
         )
         producer.attach_output(buf, consumer)
         consumer.attach_input(buf, producer)

@@ -21,7 +21,7 @@ ETS policy asks the source to :meth:`inject_punctuation`.
 
 from __future__ import annotations
 
-from ..errors import TimestampError
+from ..errors import SchemaError, TimestampError
 from ..tuples import LATENT_TS, DataTuple, Punctuation, TimestampKind
 from .base import Operator, OpContext, StepResult
 
@@ -47,7 +47,8 @@ class SourceNode(Operator):
 
     def __init__(self, name: str,
                  timestamp_kind: TimestampKind = TimestampKind.INTERNAL,
-                 *, out_of_order: bool = False, output_schema=None) -> None:
+                 *, out_of_order: bool = False, output_schema=None,
+                 validate_schema: bool = False) -> None:
         """Create a source.
 
         Args:
@@ -59,9 +60,21 @@ class SourceNode(Operator):
                 downstream :class:`~repro.core.operators.reorder.Reorder`
                 is expected to restore order before any IWP operator.
             output_schema: Optional schema of the stream's records.
+            validate_schema: When True (and ``output_schema`` is set),
+                :meth:`ingest` validates every payload against the schema
+                and rejects non-conforming records with a structured
+                :class:`SchemaError` instead of letting them corrupt
+                downstream operators.
         """
         super().__init__(name, output_schema=output_schema)
         self.timestamp_kind = timestamp_kind
+        self.validate_schema = validate_schema
+        #: Optional :class:`~repro.faults.degrade.QuarantinePolicy` (or any
+        #: object with its ``handle`` signature) deciding what happens to
+        #: externally timestamped tuples whose timestamp regressed below the
+        #: stream's frontier — e.g. after a clock-skew fault outran the
+        #: declared ``external_delta``.  None keeps the strict raise.
+        self.quarantine = None
         if out_of_order and timestamp_kind is not TimestampKind.EXTERNAL:
             raise TimestampError(
                 f"source {name!r}: only externally timestamped streams can "
@@ -78,11 +91,24 @@ class SourceNode(Operator):
         #: bounds generation to once per wake-up (see execution module).
         self.last_ets_round = -1
 
+    def _notify_violation(self, **fields) -> None:
+        """Announce an ingest violation on the graph's registry hook.
+
+        Runs *before* the error is raised (or the quarantine decision is
+        made), so monitors and tracers see the event even when the caller's
+        stack unwinds.  Standalone sources (no wired outputs) skip silently.
+        """
+        for buf in self.outputs:
+            registry = buf.registry
+            if registry is not None:
+                registry.notify_violation(**fields)
+                return
+
     # ------------------------------------------------------------------ #
     # Wrapper-facing API
 
     def ingest(self, payload, now: float, ts: float | None = None,
-               arrival: float | None = None) -> DataTuple:
+               arrival: float | None = None) -> DataTuple | None:
         """Admit one application record into the stream at wall time ``now``.
 
         Args:
@@ -96,22 +122,56 @@ class SourceNode(Operator):
                 ``now``.
 
         Returns:
-            The :class:`DataTuple` that was pushed into the output buffer(s).
+            The :class:`DataTuple` that was pushed into the output buffer(s),
+            or None when an installed quarantine policy dropped the record.
         """
+        if self.validate_schema and self.output_schema is not None:
+            try:
+                self.output_schema.validate(payload)
+            except SchemaError as exc:
+                fields = dict(operator=self.name, port=0,
+                              offending_ts=ts, last_seen_ts=self.last_data_ts,
+                              kind="schema")
+                self._notify_violation(**fields)
+                raise SchemaError(
+                    f"source {self.name!r}: payload rejected by schema "
+                    f"({exc})", **fields,
+                ) from exc
         kind = self.timestamp_kind
         if kind is TimestampKind.EXTERNAL:
             if ts is None:
                 raise TimestampError(
                     f"source {self.name!r} is externally timestamped; "
-                    "ingest() requires ts"
+                    "ingest() requires ts",
+                    operator=self.name, port=0, kind="missing-ts",
                 )
             stamped_ts = float(ts)
-            if (not self.out_of_order and self.last_data_ts != LATENT_TS
-                    and stamped_ts < self.last_data_ts):
-                raise TimestampError(
-                    f"source {self.name!r}: external timestamps must be "
-                    f"non-decreasing ({stamped_ts} after {self.last_data_ts})"
-                )
+            if not self.out_of_order:
+                # The stream frontier a new timestamp must not regress
+                # below: the last data tuple, and — when a quarantine policy
+                # is judging admission — any punctuation-advanced watermark
+                # (a fallback heartbeat may have outrun the application).
+                floor = self.last_data_ts
+                if self.quarantine is not None and self.watermark > floor:
+                    floor = self.watermark
+                if floor != LATENT_TS and stamped_ts < floor:
+                    fields = dict(operator=self.name, port=0,
+                                  offending_ts=stamped_ts, last_seen_ts=floor,
+                                  kind="out-of-order")
+                    self._notify_violation(**fields)
+                    if self.quarantine is not None:
+                        admitted = self.quarantine.handle(
+                            source_name=self.name, ts=stamped_ts,
+                            floor=floor, now=now)
+                        if admitted is None:
+                            return None
+                        stamped_ts = admitted
+                    else:
+                        raise TimestampError(
+                            f"source {self.name!r}: external timestamps must "
+                            f"be non-decreasing ({stamped_ts} after {floor})",
+                            **fields,
+                        )
         elif kind is TimestampKind.INTERNAL:
             if ts is not None:
                 raise TimestampError(

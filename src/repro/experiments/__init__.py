@@ -1,5 +1,6 @@
-"""Experiment harness: scenario runner and paper figure/table regeneration."""
+"""Experiment harness: scenario runner, figures, and chaos experiments."""
 
+from .chaos import ChaosConfig, ChaosReport, run_chaos_experiment
 from .figures import (
     DEFAULT_HEARTBEAT_RATES,
     SweepResult,
@@ -25,6 +26,8 @@ from .runner import (
 )
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosReport",
     "ClaimResult",
     "DEFAULT_HEARTBEAT_RATES",
     "ExperimentResult",
@@ -36,6 +39,7 @@ __all__ = [
     "format_idle_table",
     "idle_waiting_table",
     "result_from_handles",
+    "run_chaos_experiment",
     "run_join_experiment",
     "run_sweep",
     "run_union_experiment",

@@ -1,0 +1,196 @@
+"""Chaos experiment: the paper's union scenario under an injected fault plan.
+
+This is the executable form of the degradation story: take the Fig.-4
+skewed-rates query, kill the fast stream for a while (plus optional skew
+spikes and tuple loss), and measure how long the sink stays silent under
+
+* on-demand ETS alone (the paper's scenario C — which only answers when
+  the engine happens to backtrack), versus
+* on-demand ETS wrapped in the fallback-heartbeat ladder (stall detector +
+  fallback trains + quarantine + invariant monitors).
+
+Exposed to users through ``python -m repro chaos`` and reused by the
+``bench_fault_recovery`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import WorkloadError
+from ..core.ets import NoEts, OnDemandEts
+from ..faults.degrade import (FallbackHeartbeat, QuarantinePolicy,
+                              StallDetector)
+from ..faults.monitors import InvariantMonitor
+from ..faults.plan import ClockSkewSpike, DropTuples, FaultPlan, SourceOutage
+from ..metrics.recovery import RecoveryTracker
+from ..sim.kernel import Simulation
+from ..workloads.scenarios import ScenarioConfig, build_union_scenario
+
+__all__ = ["ChaosConfig", "ChaosReport", "run_chaos_experiment"]
+
+
+@dataclass(slots=True)
+class ChaosConfig:
+    """Parameters of one chaos run over the paper's union query.
+
+    The outage targets the *fast* stream: with the sparse stream as the
+    union's other input, silencing the fast one stalls deliveries outright,
+    which makes time-to-liveness an unambiguous measurement.
+    """
+
+    duration: float = 120.0
+    rate_fast: float = 50.0
+    rate_slow: float = 0.5
+    seed: int = 42
+    external: bool = False
+    external_skew: float = 0.1
+    ets_delta: float = 0.1
+    outage_start: float = 30.0
+    outage_duration: float = 30.0
+    outage_mode: str = "drop"
+    skew_spike: float = 0.0
+    skew_spike_start: float = 70.0
+    skew_spike_duration: float = 10.0
+    drop_probability: float = 0.0
+    stall_timeout: float = 2.0
+    heartbeat_period: float = 0.5
+    quarantine_mode: str = "clamp"
+    degrade: bool = True
+    #: The healthy-path ETS policy under the ladder: "on-demand" (scenario
+    #: C — a wake-up during the outage already recovers via backtracking) or
+    #: "none" (scenarios A/B — only the ladder restores liveness).
+    base_ets: str = "on-demand"
+    max_total_buffered: int = 1_000_000
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.base_ets not in ("on-demand", "none"):
+            raise WorkloadError(
+                f"base_ets must be 'on-demand' or 'none', got "
+                f"{self.base_ets!r}")
+
+
+@dataclass(slots=True)
+class ChaosReport:
+    """What one chaos run did and how fast it recovered."""
+
+    config: ChaosConfig
+    summary: dict = field(default_factory=dict)
+    fault_stats: dict = field(default_factory=dict)
+    time_to_liveness: float | None = None
+    max_sink_gap: float = 0.0
+    delivered: int = 0
+    monitor_violations: int = 0
+
+    def rows(self) -> list[tuple[str, object]]:
+        s = self.summary
+        ttl = ("never" if self.time_to_liveness is None
+               else f"{self.time_to_liveness:.3f}s")
+        return [
+            ("delivered tuples", self.delivered),
+            ("time-to-liveness after outage", ttl),
+            ("max sink silence (s)", round(self.max_sink_gap, 3)),
+            ("degradations / resyncs",
+             f"{s.get('degradations', 0)} / {s.get('resyncs', 0)}"),
+            ("fallback heartbeats", s.get("fallback_heartbeats", 0)),
+            ("quarantined (dropped/clamped)",
+             f"{s.get('quarantine_dropped', 0)} / "
+             f"{s.get('quarantine_clamped', 0)}"),
+            ("injected losses", self.fault_stats.get("outage_dropped", 0)
+             + self.fault_stats.get("dropped", 0)),
+            ("invariant violations", self.monitor_violations),
+        ]
+
+
+def make_fault_plan(config: ChaosConfig) -> FaultPlan:
+    """The fault plan a :class:`ChaosConfig` describes (fast-stream faults)."""
+    specs: list = [
+        SourceOutage("fast", start=config.outage_start,
+                     duration=config.outage_duration,
+                     mode=config.outage_mode),
+    ]
+    if config.skew_spike > 0:
+        specs.append(ClockSkewSpike(
+            "fast", start=config.skew_spike_start,
+            duration=config.skew_spike_duration, skew=config.skew_spike))
+    if config.drop_probability > 0:
+        specs.append(DropTuples("fast", config.drop_probability))
+    return FaultPlan(specs, seed=config.seed)
+
+
+def run_chaos_experiment(config: ChaosConfig) -> ChaosReport:
+    """Build, fault, degrade, run, and measure one chaos scenario."""
+    scenario = ScenarioConfig(
+        scenario="C", duration=config.duration, seed=config.seed,
+        rate_fast=config.rate_fast, rate_slow=config.rate_slow,
+        external=config.external, external_skew=config.external_skew,
+        ets_delta=config.ets_delta, batch_size=config.batch_size)
+
+    # Build the graph through the scenario builder, then rebuild the
+    # simulation around it with the degradation ladder and faulted arrivals
+    # (the builder's own simulation already consumed the pristine streams).
+    handles = build_union_scenario(scenario)
+    plan = make_fault_plan(config)
+
+    graph = handles.graph
+    fast, slow = handles.fast_source, handles.slow_source
+    policy = (OnDemandEts(external_delta=config.ets_delta)
+              if config.base_ets == "on-demand" else NoEts())
+    detector = None
+    quarantine = None
+    monitor = InvariantMonitor(max_total_buffered=config.max_total_buffered,
+                               mode="degrade")
+    if config.degrade:
+        policy = FallbackHeartbeat(policy,
+                                   heartbeat_period=config.heartbeat_period,
+                                   external_delta=config.ets_delta)
+        detector = StallDetector(config.stall_timeout)
+        quarantine = QuarantinePolicy(config.quarantine_mode)
+
+    sim = Simulation(graph, ets_policy=policy, batch_size=config.batch_size,
+                     stall_detector=detector, quarantine=quarantine,
+                     monitor=monitor)
+    # Fresh arrival schedules (same seeds as the builder used), with the
+    # fault plan wrapped around the fast stream's.
+    _reattach_streams(sim, scenario, fast, slow, plan)
+
+    tracker = RecoveryTracker().watch(handles.sink)
+    sim.run(until=config.duration)
+
+    return ChaosReport(
+        config=config,
+        summary=sim.summary(),
+        fault_stats=plan.stats.as_dict(),
+        time_to_liveness=tracker.time_to_liveness(after=config.outage_start),
+        max_sink_gap=tracker.max_gap if tracker.times else config.duration,
+        delivered=handles.sink.delivered,
+        monitor_violations=monitor.violations,
+    )
+
+
+def _reattach_streams(sim: Simulation, scenario: ScenarioConfig,
+                      fast, slow, plan: FaultPlan) -> None:
+    import random
+
+    from ..workloads.arrival import (poisson_arrivals,
+                                     with_external_timestamps)
+    from ..workloads.datagen import uniform_value_payloads
+
+    rng_fast = random.Random(scenario.seed)
+    rng_slow = random.Random(scenario.seed + 1)
+    fast_arrivals = poisson_arrivals(
+        scenario.rate_fast, rng_fast,
+        payloads=uniform_value_payloads(random.Random(scenario.seed + 2)))
+    slow_arrivals = poisson_arrivals(
+        scenario.rate_slow, rng_slow,
+        payloads=uniform_value_payloads(random.Random(scenario.seed + 3)))
+    if scenario.external:
+        fast_arrivals = with_external_timestamps(
+            fast_arrivals, random.Random(scenario.seed + 4),
+            max_skew=scenario.external_skew)
+        slow_arrivals = with_external_timestamps(
+            slow_arrivals, random.Random(scenario.seed + 5),
+            max_skew=scenario.external_skew)
+    sim.attach_arrivals(fast, fast_arrivals, faults=plan)
+    sim.attach_arrivals(slow, slow_arrivals, faults=plan)

@@ -1,0 +1,432 @@
+"""Composable, seeded fault specs that wrap arrival schedules.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` objects, each targeting
+one source by name.  Arrival-level specs transform an
+:class:`~repro.sim.kernel.Arrival` iterator — the same lazy shape the
+simulation kernel consumes — so any workload in :mod:`repro.workloads` can
+be faulted by wrapping it::
+
+    plan = FaultPlan([
+        SourceOutage("slow", start=30.0, duration=20.0),
+        ClockSkewSpike("fast", start=10.0, duration=5.0, skew=2.0),
+    ], seed=7)
+    sim.attach_arrivals(slow, plan.wrap("slow", arrivals))
+
+Punctuation-level specs (:class:`PunctuationLoss`, :class:`PunctuationDelay`)
+cannot ride the arrival iterator — punctuation is injected directly on
+source nodes by heartbeat events and ETS policies — so they are *installed*
+on a built simulation with :meth:`FaultPlan.install`, which interposes on
+``SourceNode.inject_punctuation``.
+
+Every spec draws randomness from its own :class:`random.Random` seeded from
+``(plan seed, spec index)``, so a plan replayed over the same schedule
+faults exactly the same tuples — the property the chaos suite's
+differential assertions depend on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Iterable, Iterator, Sequence
+
+from ..core.errors import WorkloadError
+from ..sim.kernel import Arrival, Simulation
+
+__all__ = [
+    "ClockSkewSpike",
+    "DropTuples",
+    "DuplicateTuples",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultStats",
+    "OutOfOrderBurst",
+    "PunctuationDelay",
+    "PunctuationLoss",
+    "SourceOutage",
+]
+
+_INF = float("inf")
+
+
+@dataclass
+class FaultStats:
+    """Counters of every fault actually applied (not merely configured).
+
+    The chaos suite's "no silent tuple loss" assertion is
+    ``delivered == fed - outage_dropped - dropped`` — injected losses are
+    accounted, everything else must come out of the sinks.
+    """
+
+    outage_dropped: int = 0
+    deferred: int = 0
+    skewed: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    disordered: int = 0
+    punctuation_dropped: int = 0
+    punctuation_delayed: int = 0
+
+    @property
+    def data_lost(self) -> int:
+        """Data tuples removed from the schedule (drops of all kinds)."""
+        return self.outage_dropped + self.dropped
+
+    def reset(self) -> None:
+        for f in dataclass_fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
+
+class FaultSpec:
+    """Base class: one fault targeting one source.
+
+    Sub-classes override :meth:`wrap` (arrival-level faults) and/or
+    :meth:`install` (punctuation-level faults); the defaults are no-ops so
+    every spec can be passed through both application points.
+    """
+
+    source: str
+
+    def wrap(self, arrivals: Iterator[Arrival], rng: random.Random,
+             stats: FaultStats) -> Iterator[Arrival]:
+        """Transform the arrival schedule (identity by default)."""
+        return arrivals
+
+    def install(self, sim: Simulation, rng: random.Random,
+                stats: FaultStats) -> None:
+        """Interpose on a built simulation (no-op by default)."""
+
+
+def _check_window(start: float, duration: float) -> None:
+    if duration <= 0:
+        raise WorkloadError(f"fault duration must be positive, got {duration}")
+    if start < 0:
+        raise WorkloadError(f"fault start must be non-negative, got {start}")
+
+
+def _check_probability(probability: float) -> None:
+    if not 0.0 <= probability <= 1.0:
+        raise WorkloadError(
+            f"fault probability must be in [0, 1], got {probability}")
+
+
+@dataclass(frozen=True)
+class SourceOutage(FaultSpec):
+    """The source goes silent over ``[start, start + duration)``.
+
+    Args:
+        source: Target source name.
+        start / duration: The outage window in stream seconds.
+        mode: ``"drop"`` — tuples produced during the outage are lost (a
+            dead upstream); ``"defer"`` — they are buffered upstream and
+            released in a burst at the instant the source recovers (a
+            network partition healing).
+    """
+
+    source: str
+    start: float
+    duration: float
+    mode: str = "drop"
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        if self.mode not in ("drop", "defer"):
+            raise WorkloadError(
+                f"outage mode must be 'drop' or 'defer', got {self.mode!r}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def wrap(self, arrivals: Iterator[Arrival], rng: random.Random,
+             stats: FaultStats) -> Iterator[Arrival]:
+        held: list[Arrival] = []
+        for arrival in arrivals:
+            if self.start <= arrival.time < self.end:
+                if self.mode == "drop":
+                    stats.outage_dropped += 1
+                else:
+                    stats.deferred += 1
+                    held.append(Arrival(time=self.end,
+                                        payload=arrival.payload,
+                                        external_ts=arrival.external_ts))
+                continue
+            if held and arrival.time >= self.end:
+                yield from held
+                held.clear()
+            yield arrival
+        yield from held
+
+
+@dataclass(frozen=True)
+class ClockSkewSpike(FaultSpec):
+    """Application clocks jump back by ``skew`` over the window.
+
+    External timestamps inside ``[start, start + duration)`` are shifted
+    ``skew`` seconds into the past — when ``skew`` exceeds the declared
+    ``external_delta``, downstream skew-bound ETS values outrun the data and
+    the regressed timestamps land in quarantine.  Internally timestamped
+    arrivals (no ``external_ts``) are unaffected.
+    """
+
+    source: str
+    start: float
+    duration: float
+    skew: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        if self.skew <= 0:
+            raise WorkloadError(f"skew must be positive, got {self.skew}")
+
+    def wrap(self, arrivals: Iterator[Arrival], rng: random.Random,
+             stats: FaultStats) -> Iterator[Arrival]:
+        end = self.start + self.duration
+        for arrival in arrivals:
+            if (arrival.external_ts is not None
+                    and self.start <= arrival.time < end):
+                stats.skewed += 1
+                yield Arrival(time=arrival.time, payload=arrival.payload,
+                              external_ts=arrival.external_ts - self.skew)
+            else:
+                yield arrival
+
+
+@dataclass(frozen=True)
+class DropTuples(FaultSpec):
+    """Lose each tuple independently with ``probability`` inside the window."""
+
+    source: str
+    probability: float
+    start: float = 0.0
+    end: float = _INF
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+
+    def wrap(self, arrivals: Iterator[Arrival], rng: random.Random,
+             stats: FaultStats) -> Iterator[Arrival]:
+        for arrival in arrivals:
+            if (self.start <= arrival.time < self.end
+                    and rng.random() < self.probability):
+                stats.dropped += 1
+                continue
+            yield arrival
+
+
+@dataclass(frozen=True)
+class DuplicateTuples(FaultSpec):
+    """Deliver each tuple twice with ``probability`` inside the window.
+
+    The duplicate carries the same arrival time and external timestamp, so
+    stream order is preserved — it models at-least-once upstream delivery.
+    """
+
+    source: str
+    probability: float
+    start: float = 0.0
+    end: float = _INF
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+
+    def wrap(self, arrivals: Iterator[Arrival], rng: random.Random,
+             stats: FaultStats) -> Iterator[Arrival]:
+        for arrival in arrivals:
+            yield arrival
+            if (self.start <= arrival.time < self.end
+                    and rng.random() < self.probability):
+                stats.duplicated += 1
+                yield Arrival(time=arrival.time, payload=arrival.payload,
+                              external_ts=arrival.external_ts)
+
+
+@dataclass(frozen=True)
+class OutOfOrderBurst(FaultSpec):
+    """External timestamps regress by up to ``max_disorder`` in the window.
+
+    Each affected tuple's ``external_ts`` loses a uniform delay in
+    ``[0, max_disorder]`` with no order clamping, so consecutive timestamps
+    may regress.  Target sources declared ``out_of_order=True`` (with a
+    downstream Reorder), or rely on a quarantine policy to absorb the
+    regressions on strictly ordered sources.
+    """
+
+    source: str
+    start: float
+    duration: float
+    max_disorder: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        if self.max_disorder <= 0:
+            raise WorkloadError(
+                f"max_disorder must be positive, got {self.max_disorder}")
+
+    def wrap(self, arrivals: Iterator[Arrival], rng: random.Random,
+             stats: FaultStats) -> Iterator[Arrival]:
+        end = self.start + self.duration
+        for arrival in arrivals:
+            if (arrival.external_ts is not None
+                    and self.start <= arrival.time < end):
+                stats.disordered += 1
+                yield Arrival(
+                    time=arrival.time, payload=arrival.payload,
+                    external_ts=arrival.external_ts
+                    - rng.uniform(0.0, self.max_disorder))
+            else:
+                yield arrival
+
+
+@dataclass(frozen=True)
+class PunctuationLoss(FaultSpec):
+    """Punctuation injections on the source are lost inside the window.
+
+    Installed on a built simulation: every ``inject_punctuation`` call —
+    periodic heartbeats, on-demand ETS, fallback heartbeats alike — during
+    ``[start, end)`` is dropped with ``probability``.  This is the fault
+    that turns scenario B's liveness guarantee into a lie and motivates the
+    fallback ladder.
+    """
+
+    source: str
+    start: float = 0.0
+    end: float = _INF
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+
+    def install(self, sim: Simulation, rng: random.Random,
+                stats: FaultStats) -> None:
+        source = sim.graph[self.source]
+        original = source.inject_punctuation
+        spec = self
+
+        def faulted(ts: float, *, origin: str = "",
+                    periodic: bool = False) -> bool:
+            now = sim.clock.now()
+            if spec.start <= now < spec.end and rng.random() < spec.probability:
+                stats.punctuation_dropped += 1
+                return False
+            return original(ts, origin=origin, periodic=periodic)
+
+        source.inject_punctuation = faulted  # type: ignore[method-assign]
+
+
+@dataclass(frozen=True)
+class PunctuationDelay(FaultSpec):
+    """Punctuation injections are delayed by ``delay`` inside the window.
+
+    The delayed punctuation is re-injected through the simulation's event
+    queue; by then the watermark may have moved past it, in which case the
+    (now stale) punctuation is discarded by the source — exactly the
+    at-most-once semantics real progress messages have.
+    """
+
+    source: str
+    delay: float
+    start: float = 0.0
+    end: float = _INF
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise WorkloadError(f"delay must be positive, got {self.delay}")
+
+    def install(self, sim: Simulation, rng: random.Random,
+                stats: FaultStats) -> None:
+        source = sim.graph[self.source]
+        original = source.inject_punctuation
+        spec = self
+
+        def faulted(ts: float, *, origin: str = "",
+                    periodic: bool = False) -> bool:
+            now = sim.clock.now()
+            if spec.start <= now < spec.end:
+                stats.punctuation_delayed += 1
+                sim.events.schedule(
+                    now + spec.delay,
+                    lambda: original(ts, origin=origin, periodic=periodic))
+                return False
+            return original(ts, origin=origin, periodic=periodic)
+
+        source.inject_punctuation = faulted  # type: ignore[method-assign]
+
+
+class FaultPlan:
+    """An ordered, seeded composition of fault specs.
+
+    Args:
+        specs: The faults; arrival-level specs compose in list order (an
+            outage wrapping a duplicator sees the duplicates, and vice
+            versa).
+        seed: Root seed; each spec derives an independent deterministic
+            stream from ``(seed, spec index)``, so the same plan over the
+            same schedule always faults the same tuples.
+
+    Attributes:
+        stats: Aggregate :class:`FaultStats` across every wrap/install this
+            plan performed (reset with ``plan.stats.reset()`` between
+            differential runs).
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], *, seed: int = 0) -> None:
+        self.specs = list(specs)
+        self.seed = seed
+        self.stats = FaultStats()
+
+    def _rng_for(self, index: int) -> random.Random:
+        return random.Random(f"faultplan:{self.seed}:{index}")
+
+    def specs_for(self, source_name: str) -> list[FaultSpec]:
+        return [s for s in self.specs if s.source == source_name]
+
+    def wrap(self, source_name: str,
+             arrivals: Iterable[Arrival]) -> Iterator[Arrival]:
+        """Apply every arrival-level spec targeting ``source_name``.
+
+        Each call re-derives the per-spec RNGs, so wrapping the same
+        schedule twice faults the same tuples (stats, however, accumulate).
+        """
+        wrapped = iter(arrivals)
+        for index, spec in enumerate(self.specs):
+            if spec.source != source_name:
+                continue
+            wrapped = spec.wrap(wrapped, self._rng_for(index), self.stats)
+        return wrapped
+
+    def install(self, sim: Simulation) -> "FaultPlan":
+        """Apply every punctuation-level spec to a built simulation."""
+        for index, spec in enumerate(self.specs):
+            if spec.source in sim.graph:
+                spec.install(sim, self._rng_for(index), self.stats)
+        return self
+
+    def wrap_feeds(self, feeds: Sequence) -> list:
+        """Fault a deterministic per-tuple feed schedule (oracle workloads).
+
+        Accepts any sequence of Feed-like records (``source``, ``time``,
+        ``payload``, ``external_ts`` attributes — e.g. the differential
+        oracle's ``Feed``), applies the arrival-level specs per source, and
+        re-merges the faulted per-source schedules into one time-ordered
+        list of the same record type.
+        """
+        if not feeds:
+            return []
+        feed_type = type(feeds[0])
+        per_source: dict[str, list[Arrival]] = {}
+        for feed in feeds:
+            per_source.setdefault(feed.source, []).append(
+                Arrival(time=feed.time, payload=feed.payload,
+                        external_ts=feed.external_ts))
+        merged: list = []
+        for name in sorted(per_source):
+            merged.extend(
+                feed_type(source=name, time=a.time, payload=a.payload,
+                          external_ts=a.external_ts)
+                for a in self.wrap(name, iter(per_source[name])))
+        merged.sort(key=lambda f: f.time)
+        return merged

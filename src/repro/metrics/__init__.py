@@ -1,15 +1,17 @@
-"""Metrics: latency recording, queue occupancy, idle-waiting accounting."""
+"""Metrics: latency, queue occupancy, idle-waiting, recovery accounting."""
 
 from .idle import IdleTracker
 from .latency import LatencyRecorder
 from .profile import OperatorProfile, format_profile, profile_simulation
 from .queues import QueueSampler, queue_summary
+from .recovery import RecoveryTracker
 
 __all__ = [
     "IdleTracker",
     "LatencyRecorder",
     "OperatorProfile",
     "QueueSampler",
+    "RecoveryTracker",
     "format_profile",
     "profile_simulation",
     "queue_summary",

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator
 
 from ..core.ets import EtsPolicy, PeriodicEtsSchedule
-from ..core.errors import WorkloadError
+from ..core.errors import PolicyError, WorkloadError
 from ..core.execution import ExecutionEngine
 from ..core.graph import QueryGraph
 from ..core.operators.source import SourceNode
@@ -72,6 +72,20 @@ class Simulation:
             consume a run of up to N elements (never across a punctuation).
             The ``deliver_due`` hook then runs once per batch rather than
             once per tuple, which is exactly the amortization being bought.
+        stall_detector: Optional
+            :class:`~repro.faults.degrade.StallDetector`; the kernel polls
+            it on a recurring watchdog event and, when a source crosses the
+            silence timeout, degrades it to a fallback-heartbeat train.
+            Requires ``ets_policy`` to be a
+            :class:`~repro.faults.degrade.FallbackHeartbeat` (or expose the
+            same degrade/resync surface).
+        quarantine: Optional
+            :class:`~repro.faults.degrade.QuarantinePolicy` attached to
+            every source; decides drop/clamp/raise for regressed external
+            timestamps, with counters mirrored into the engine stats.
+        monitor: Optional
+            :class:`~repro.faults.monitors.InvariantMonitor`; installed on
+            the graph here and checked by the engine each wake-up.
     """
 
     def __init__(self, graph: QueryGraph, *,
@@ -82,6 +96,9 @@ class Simulation:
                  track_idle: bool = True,
                  offer_ets_always: bool = False,
                  batch_size: int = 1,
+                 stall_detector=None,
+                 quarantine=None,
+                 monitor=None,
                  max_steps_per_round: int | None = None,
                  engine_cls: type[ExecutionEngine] = ExecutionEngine,
                  engine_kwargs: dict | None = None) -> None:
@@ -93,6 +110,8 @@ class Simulation:
         self.events = EventQueue()
         self.idle_tracker = (IdleTracker(graph.iwp_operators(), start_time)
                              if track_idle else None)
+        if monitor is not None:
+            monitor.install(graph)
         merged_kwargs = dict(engine_kwargs or {})
         if batch_size != 1:
             merged_kwargs.setdefault("batch_size", batch_size)
@@ -103,10 +122,25 @@ class Simulation:
             idle_tracker=self.idle_tracker,
             deliver_due=self._deliver_due,
             offer_ets_always=offer_ets_always,
+            monitor=monitor,
             max_steps_per_round=max_steps_per_round,
             **merged_kwargs,
         )
         self.periodic = periodic
+        self.monitor = monitor
+        self.stall_detector = stall_detector
+        if stall_detector is not None and not callable(
+                getattr(self.engine.ets_policy, "degrade", None)):
+            raise PolicyError(
+                "stall_detector requires a degradation-capable ETS policy; "
+                "wrap yours in repro.faults.FallbackHeartbeat"
+            )
+        self.quarantine = quarantine
+        if quarantine is not None:
+            quarantine.bind(stats=self.engine.stats,
+                            tracer=getattr(self.engine, "tracer", None))
+            for source in graph.sources():
+                source.quarantine = quarantine
         self._arrival_iters: dict[str, Iterator[Arrival]] = {}
         self._horizon = float("inf")
         self._started = False
@@ -117,8 +151,17 @@ class Simulation:
     # Configuration
 
     def attach_arrivals(self, source: SourceNode,
-                        arrivals: Iterator[Arrival]) -> None:
-        """Feed ``source`` from an iterator of time-ordered arrivals."""
+                        arrivals: Iterator[Arrival],
+                        *, faults=None) -> None:
+        """Feed ``source`` from an iterator of time-ordered arrivals.
+
+        Args:
+            source: The source node receiving the tuples.
+            arrivals: Lazy, time-ordered arrival schedule.
+            faults: Optional :class:`~repro.faults.plan.FaultPlan`; its
+                arrival-level specs targeting this source wrap the schedule
+                before it is attached.
+        """
         if source.name not in self.graph or self.graph[source.name] is not source:
             raise WorkloadError(
                 f"source {source.name!r} is not in graph {self.graph.name!r}"
@@ -127,6 +170,8 @@ class Simulation:
             raise WorkloadError(
                 f"source {source.name!r} already has an arrival process"
             )
+        if faults is not None:
+            arrivals = faults.wrap(source.name, arrivals)
         self._arrival_iters[source.name] = iter(arrivals)
         self._schedule_next_arrival(source)
 
@@ -161,6 +206,13 @@ class Simulation:
         source.ingest(arrival.payload, now=self.clock.now(),
                       ts=arrival.external_ts, arrival=arrival.time)
         self.arrivals_delivered += 1
+        if self.stall_detector is not None:
+            recovered = self.stall_detector.observe(source.name,
+                                                    self.clock.now())
+            if recovered and self.engine.ets_policy.resync(source.name):
+                self.engine.stats.resyncs += 1
+                self._trace("resync", source.name,
+                            f"recovered at t={self.clock.now():g}")
         return source
 
     def _start_heartbeats(self) -> None:
@@ -194,6 +246,61 @@ class Simulation:
         self.events.schedule(when, fire)
 
     # ------------------------------------------------------------------ #
+    # Degradation ladder (stall watchdog + fallback heartbeat trains)
+
+    def _trace(self, kind: str, operator: str, detail: str = "") -> None:
+        """Record a kernel-side decision when the engine carries a tracer."""
+        tracer = getattr(self.engine, "tracer", None)
+        if tracer is not None:
+            tracer.record(kind, operator, self.engine.round_id, detail)
+
+    def _start_watchdog(self) -> None:
+        if self.stall_detector is None:
+            return
+        self.stall_detector.bind(self.graph, self.clock.now())
+        self._schedule_watchdog(self.clock.now()
+                                + self.stall_detector.check_period)
+
+    def _schedule_watchdog(self, when: float) -> None:
+        def fire() -> None:
+            self.clock.advance_to(when)
+            now = self.clock.now()
+            policy = self.engine.ets_policy
+            for name in self.stall_detector.poll(now):
+                source = self.graph[name]
+                if policy.degrade(source, now):
+                    self.engine.stats.degradations += 1
+                    self._trace("degrade", name,
+                                f"silent since before t={now:g}")
+                    # First fallback heartbeat fires immediately: detection
+                    # latency, not heartbeat phase, bounds time-to-liveness.
+                    self._schedule_fallback(source, now)
+            self._schedule_watchdog(when + self.stall_detector.check_period)
+            return None
+
+        self.events.schedule(when, fire)
+
+    def _schedule_fallback(self, source: SourceNode, when: float) -> None:
+        def fire() -> SourceNode | None:
+            policy = self.engine.ets_policy
+            if not policy.is_degraded(source.name):
+                return None  # resynced since scheduling: train stops
+            self.clock.advance_to(when)
+            cost = self.cost_model.heartbeat_injection
+            if cost:
+                self.clock.advance(cost)
+            ts = policy.heartbeat_ts(source, self.clock.now())
+            if ts is not None and source.inject_punctuation(
+                    ts, origin=f"fallback:{source.name}", periodic=True):
+                policy.fallback_heartbeats += 1
+                self.engine.stats.fallback_heartbeats += 1
+                self._trace("fallback", source.name, f"ts={ts:g}")
+            self._schedule_fallback(source, when + policy.heartbeat_period)
+            return source
+
+        self.events.schedule(when, fire)
+
+    # ------------------------------------------------------------------ #
     # Driving time
 
     def _deliver_due(self, now: float) -> None:
@@ -215,6 +322,7 @@ class Simulation:
         self._horizon = until
         if not self._started:
             self._start_heartbeats()
+            self._start_watchdog()
             self._started = True
         while True:
             next_t = self.events.next_time()
@@ -280,4 +388,10 @@ class Simulation:
             "ets_injected": stats.ets_injected,
             "cpu_utilization": self.cpu_utilization,
             "idle_fractions": idle,
+            "degradations": stats.degradations,
+            "resyncs": stats.resyncs,
+            "fallback_heartbeats": stats.fallback_heartbeats,
+            "quarantine_dropped": stats.quarantine_dropped,
+            "quarantine_clamped": stats.quarantine_clamped,
+            "invariant_violations": stats.invariant_violations,
         }
