@@ -23,16 +23,16 @@ from __future__ import annotations
 
 import random
 
-from repro import (
+from repro.api import (
     CostModel,
     NoEts,
     OnDemandEts,
+    Query,
     Simulation,
+    format_table,
+    packet_payloads,
     poisson_arrivals,
 )
-from repro.metrics.report import format_table
-from repro.query.builder import Query
-from repro.workloads.datagen import packet_payloads
 
 BACKBONE_RATE = 200.0   # packets per second
 ALARM_RATE = 0.05       # alarms per second (one every ~20 s)

@@ -14,10 +14,15 @@ from __future__ import annotations
 
 import random
 
-from repro import CostModel, OnDemandEts, Simulation, poisson_arrivals
-from repro.metrics.report import format_table
-from repro.query.language import compile_query
-from repro.workloads.datagen import uniform_value_payloads
+from repro.api import (
+    CostModel,
+    OnDemandEts,
+    Simulation,
+    compile_query,
+    format_table,
+    poisson_arrivals,
+    uniform_value_payloads,
+)
 
 PROGRAM = """
 -- the paper's Fig. 4 experiment, plus a per-10-second rate summary

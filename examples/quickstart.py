@@ -12,8 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ScenarioConfig, build_union_scenario
-from repro.metrics.report import format_table
+from repro.api import ScenarioConfig, build_union_scenario, format_table
 
 
 def main() -> None:

@@ -22,18 +22,18 @@ from __future__ import annotations
 import itertools
 import random
 
-from repro import (
+from repro.api import (
     AggSpec,
     Avg,
     Count,
     NoEts,
     OnDemandEts,
+    Query,
     Simulation,
     WindowSpec,
+    format_table,
     poisson_arrivals,
 )
-from repro.metrics.report import format_table
-from repro.query.builder import Query
 
 VIBRATION_RATE = 5.0     # readings per second
 SERVICE_RATE = 0.02      # service events per second (one per ~50 s)

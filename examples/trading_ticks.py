@@ -25,10 +25,14 @@ from __future__ import annotations
 import itertools
 import random
 
-from repro import OnDemandEts, Simulation, poisson_arrivals
-from repro.metrics.report import format_table
-from repro.query.language import compile_query
-from repro.workloads.arrival import with_out_of_order_timestamps
+from repro.api import (
+    OnDemandEts,
+    Simulation,
+    compile_query,
+    format_table,
+    poisson_arrivals,
+    with_out_of_order_timestamps,
+)
 
 PROGRAM = """
 STREAM trades (symbol str, price float, size int)
@@ -73,7 +77,7 @@ def quote_payloads(rng: random.Random):
 
 def ordered_external(arrivals):
     """Quotes: external timestamps equal to their arrival instants."""
-    from repro.sim.kernel import Arrival
+    from repro.api import Arrival
     for a in arrivals:
         yield Arrival(time=a.time, payload=a.payload, external_ts=a.time)
 

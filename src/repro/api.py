@@ -1,0 +1,235 @@
+"""The stable public API of :mod:`repro` — import from here.
+
+Everything a user-facing program needs lives in this one module::
+
+    from repro.api import Simulation, Query, OnDemandEts, MetricsRegistry
+
+**Stability contract.**  Names listed in :data:`__all__` are the supported
+surface: they keep their signatures and semantics across minor versions,
+and removals go through a deprecation cycle (a shim plus a
+:class:`DeprecationWarning` for at least one release — see
+``TracingEngine`` for the pattern).  Anything imported from a submodule
+directly (``repro.core.execution``, ``repro.sim.kernel``, …) is internal
+and may change without notice.  The repo's own examples and CLI import
+only from this facade, which is what keeps the contract honest.
+
+The surface is grouped as:
+
+* **graphs & operators** — :class:`QueryGraph` plus the operator library;
+* **timestamps & ETS** — timestamp kinds, punctuation, the ETS policies
+  of the paper's three scenarios;
+* **execution & simulation** — :class:`ExecutionEngine`,
+  :class:`Simulation`, clock/cost primitives;
+* **query construction** — the fluent :class:`Query` builder and the
+  mini-language's :func:`compile_query`;
+* **observability** — the :mod:`repro.obs` event bus, metrics registry,
+  and exporters;
+* **faults** — fault plans and the degradation ladder;
+* **workloads & experiments** — arrival processes, scenario builders, and
+  the paper-figure harnesses.
+"""
+
+from __future__ import annotations
+
+# --- graphs & operators --------------------------------------------------- #
+from .core.graph import QueryGraph, chain_joins
+from .core.operators import (
+    AggSpec,
+    Avg,
+    Count,
+    FlatMap,
+    Map,
+    Max,
+    Min,
+    Project,
+    Reorder,
+    Select,
+    Shed,
+    SinkNode,
+    SlidingAggregate,
+    SourceNode,
+    Sum,
+    TumblingAggregate,
+    Union,
+    WindowJoin,
+)
+from .core.schema import Field, Schema
+from .core.windows import CountWindow, TimeWindow, WindowSpec
+
+# --- tuples, timestamps & ETS --------------------------------------------- #
+from .core.tuples import (
+    LATENT_TS,
+    DataTuple,
+    Punctuation,
+    StreamElement,
+    TimestampKind,
+    is_data,
+    is_punctuation,
+)
+from .core.ets import (
+    AdaptiveHeartbeatSchedule,
+    EtsPolicy,
+    NoEts,
+    OnDemandEts,
+    PeriodicEtsSchedule,
+)
+from .core.timestamps import (
+    InternalClockEts,
+    SkewBoundEts,
+    default_generator_for,
+)
+
+# --- errors ---------------------------------------------------------------- #
+from .core.errors import (
+    ExecutionError,
+    GraphError,
+    InvariantViolation,
+    PolicyError,
+    QueryLanguageError,
+    ReproError,
+    SchemaError,
+    TimestampError,
+    WorkloadError,
+)
+
+# --- execution & simulation ------------------------------------------------ #
+from .core.execution import EngineStats, ExecutionEngine
+from .sim import Arrival, CostModel, EventQueue, Simulation, VirtualClock
+
+# --- query construction ---------------------------------------------------- #
+from .query import CompiledQuery, Query, StreamHandle, compile_query
+
+# --- observability --------------------------------------------------------- #
+from .core.tracing import TraceEvent, Tracer, summarize
+from .obs import (
+    ChromeTraceExporter,
+    EventBus,
+    JsonlExporter,
+    MetricsRegistry,
+    Observer,
+    PrometheusExporter,
+    TraceObserver,
+)
+
+# --- metrics & reporting --------------------------------------------------- #
+from .metrics import (
+    IdleTracker,
+    LatencyRecorder,
+    QueueSampler,
+    RecoveryTracker,
+    format_profile,
+    profile_simulation,
+    queue_summary,
+)
+from .metrics.report import format_series, format_table
+
+# --- faults & degradation -------------------------------------------------- #
+from .faults import (
+    ClockSkewSpike,
+    DropTuples,
+    DuplicateTuples,
+    FallbackHeartbeat,
+    FaultPlan,
+    FaultSpec,
+    InvariantMonitor,
+    OutOfOrderBurst,
+    PunctuationDelay,
+    PunctuationLoss,
+    QuarantinePolicy,
+    SourceOutage,
+    StallDetector,
+)
+
+# --- workloads ------------------------------------------------------------- #
+from .workloads import (
+    SCENARIOS,
+    ScenarioConfig,
+    ScenarioHandles,
+    build_join_scenario,
+    build_union_scenario,
+    bursty_arrivals,
+    constant_arrivals,
+    packet_payloads,
+    poisson_arrivals,
+    sensor_payloads,
+    sequence_payloads,
+    trace_arrivals,
+    uniform_value_payloads,
+    with_external_timestamps,
+    with_out_of_order_timestamps,
+)
+
+# --- experiments ----------------------------------------------------------- #
+from .experiments import (
+    ChaosConfig,
+    ChaosReport,
+    ClaimResult,
+    DEFAULT_HEARTBEAT_RATES,
+    ExperimentResult,
+    SweepResult,
+    figure7,
+    figure8,
+    format_claims,
+    format_figure7,
+    format_figure8,
+    format_idle_table,
+    idle_waiting_table,
+    result_from_handles,
+    run_chaos_experiment,
+    run_join_experiment,
+    run_sweep,
+    run_union_experiment,
+    run_validation,
+    validate_paper_claims,
+)
+
+__all__ = [
+    # graphs & operators
+    "AggSpec", "Avg", "Count", "FlatMap", "Map", "Max", "Min", "Project",
+    "QueryGraph", "Reorder", "Select", "Shed", "SinkNode",
+    "SlidingAggregate", "SourceNode", "Sum", "TumblingAggregate", "Union",
+    "WindowJoin", "chain_joins",
+    # schema & windows
+    "CountWindow", "Field", "Schema", "TimeWindow", "WindowSpec",
+    # tuples, timestamps & ETS
+    "AdaptiveHeartbeatSchedule", "DataTuple", "EtsPolicy",
+    "InternalClockEts", "LATENT_TS", "NoEts", "OnDemandEts",
+    "PeriodicEtsSchedule", "Punctuation", "SkewBoundEts", "StreamElement",
+    "TimestampKind", "default_generator_for", "is_data", "is_punctuation",
+    # errors
+    "ExecutionError", "GraphError", "InvariantViolation", "PolicyError",
+    "QueryLanguageError", "ReproError", "SchemaError", "TimestampError",
+    "WorkloadError",
+    # execution & simulation
+    "Arrival", "CostModel", "EngineStats", "EventQueue", "ExecutionEngine",
+    "Simulation", "VirtualClock",
+    # query construction
+    "CompiledQuery", "Query", "StreamHandle", "compile_query",
+    # observability
+    "ChromeTraceExporter", "EventBus", "JsonlExporter", "MetricsRegistry",
+    "Observer", "PrometheusExporter", "TraceEvent", "TraceObserver",
+    "Tracer", "summarize",
+    # metrics & reporting
+    "IdleTracker", "LatencyRecorder", "QueueSampler", "RecoveryTracker",
+    "format_profile", "format_series", "format_table",
+    "profile_simulation", "queue_summary",
+    # faults & degradation
+    "ClockSkewSpike", "DropTuples", "DuplicateTuples", "FallbackHeartbeat",
+    "FaultPlan", "FaultSpec", "InvariantMonitor", "OutOfOrderBurst",
+    "PunctuationDelay", "PunctuationLoss", "QuarantinePolicy",
+    "SourceOutage", "StallDetector",
+    # workloads
+    "SCENARIOS", "ScenarioConfig", "ScenarioHandles",
+    "build_join_scenario", "build_union_scenario", "bursty_arrivals",
+    "constant_arrivals", "packet_payloads", "poisson_arrivals",
+    "sensor_payloads", "sequence_payloads", "trace_arrivals",
+    "uniform_value_payloads", "with_external_timestamps",
+    "with_out_of_order_timestamps",
+    # experiments
+    "ChaosConfig", "ChaosReport", "ClaimResult", "DEFAULT_HEARTBEAT_RATES",
+    "ExperimentResult", "SweepResult", "figure7", "figure8",
+    "format_claims", "format_figure7", "format_figure8",
+    "format_idle_table", "idle_waiting_table", "result_from_handles",
+    "run_chaos_experiment", "run_join_experiment", "run_sweep",
+    "run_union_experiment", "run_validation", "validate_paper_claims",
+]

@@ -6,41 +6,49 @@ Examples::
     python -m repro scenario B --heartbeat-rate 100 --join
     python -m repro figure 7 --sweep-duration 40
     python -m repro idle --heartbeat-rate 100
+    python -m repro trace --format chrome --out trace.json
+    python -m repro metrics --format prometheus
     python -m repro run query.esl --until 60 --source fast:poisson:50 \\
         --source slow:poisson:0.05 --ets on-demand
 
-The CLI is a thin veneer over :mod:`repro.experiments` and
-:mod:`repro.query.language`; everything it prints can be produced
-programmatically with those modules.
+The CLI is a thin veneer over the :mod:`repro.api` facade — everything it
+prints can be produced programmatically with the same public names.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import Sequence
 
-from .core.ets import NoEts, OnDemandEts, PeriodicEtsSchedule
-from .core.errors import ReproError
-from .experiments.figures import (
+from .api import (
+    SCENARIOS,
+    ChromeTraceExporter,
+    ExperimentResult,
+    JsonlExporter,
+    MetricsRegistry,
+    NoEts,
+    OnDemandEts,
+    PeriodicEtsSchedule,
+    ReproError,
+    ScenarioConfig,
+    Simulation,
+    build_union_scenario,
+    compile_query,
+    constant_arrivals,
     format_figure7,
     format_figure8,
     format_idle_table,
+    format_table,
     idle_waiting_table,
-    run_sweep,
-)
-from .experiments.runner import (
-    ExperimentResult,
+    poisson_arrivals,
     run_join_experiment,
+    run_sweep,
     run_union_experiment,
+    uniform_value_payloads,
 )
-from .metrics.report import format_table
-from .query.language import compile_query
-from .sim.kernel import Simulation
-from .workloads.arrival import constant_arrivals, poisson_arrivals
-from .workloads.datagen import uniform_value_payloads
-from .workloads.scenarios import SCENARIOS, ScenarioConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -136,6 +144,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "ladder")
     chaos.add_argument("--batch-size", type=int, default=1)
 
+    def _add_obs_scenario_args(p: argparse.ArgumentParser,
+                               default_duration: float) -> None:
+        p.add_argument("name", nargs="?", choices=SCENARIOS, default="C",
+                       help="scenario to instrument (default C)")
+        p.add_argument("--duration", type=float, default=default_duration)
+        p.add_argument("--rate-fast", type=float, default=50.0)
+        p.add_argument("--rate-slow", type=float, default=0.05)
+        p.add_argument("--heartbeat-rate", type=float, default=None)
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--out", type=str, default=None,
+                       help="write to this path instead of stdout")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a scenario with the event bus attached and export the "
+             "event stream")
+    _add_obs_scenario_args(trace, default_duration=5.0)
+    trace.add_argument("--format", choices=("jsonl", "chrome"),
+                       default="jsonl",
+                       help="jsonl = one event per line; chrome = "
+                            "chrome://tracing / Perfetto trace_event JSON")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="cap on recorded events (jsonl only); hitting "
+                            "it appends a terminal 'truncated' record")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a scenario with the metrics registry attached and "
+             "export the unified metrics snapshot")
+    _add_obs_scenario_args(metrics, default_duration=30.0)
+    metrics.add_argument("--format", choices=("table", "prometheus", "json"),
+                         default="table")
+
     run = sub.add_parser(
         "run", help="compile and run a query-language program")
     run.add_argument("program", help="path to the .esl program file")
@@ -207,8 +248,7 @@ def _parse_source_spec(spec: str) -> tuple[str, str, float]:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from .metrics.profile import format_profile, profile_simulation
-    from .workloads.scenarios import build_union_scenario
+    from .api import format_profile, profile_simulation
 
     config = ScenarioConfig(
         scenario=args.name, duration=args.duration, seed=args.seed,
@@ -233,7 +273,7 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    from .experiments.validation import format_claims, run_validation
+    from .api import format_claims, run_validation
 
     rates = tuple(float(r) for r in args.rates.split(",") if r)
     results = run_validation(duration=args.duration,
@@ -244,7 +284,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from .experiments.chaos import ChaosConfig, run_chaos_experiment
+    from .api import ChaosConfig, run_chaos_experiment
 
     config = ChaosConfig(
         duration=args.duration, rate_fast=args.rate_fast,
@@ -266,6 +306,57 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"[{config.outage_start:g}s, "
               f"{config.outage_start + config.outage_duration:g}s) — "
               f"{ladder}"))
+    return 0
+
+
+def _obs_config(args: argparse.Namespace, observers: list) -> ScenarioConfig:
+    return ScenarioConfig(
+        scenario=args.name, duration=args.duration, seed=args.seed,
+        rate_fast=args.rate_fast, rate_slow=args.rate_slow,
+        heartbeat_rate=args.heartbeat_rate, observers=observers)
+
+
+def _emit(text: str, out: str | None) -> None:
+    if out is None:
+        print(text, end="" if text.endswith("\n") else "\n")
+    else:
+        with open(out, "w") as f:
+            f.write(text)
+        print(f"wrote {out}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.format == "chrome":
+        exporter = ChromeTraceExporter()
+    else:
+        exporter = JsonlExporter(capacity=args.limit)
+    handles = build_union_scenario(_obs_config(args, [exporter])).run()
+    if args.format == "chrome":
+        _emit(exporter.to_json(), args.out)
+    else:
+        _emit("\n".join(exporter.lines()) + "\n", args.out)
+    sim = handles.sim
+    print(f"# {sim.arrivals_delivered} arrivals, "
+          f"{sim.engine.stats.steps} engine steps, "
+          f"{sim.engine.stats.rounds} rounds in "
+          f"{args.duration:g}s simulated", file=sys.stderr)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
+    handles = build_union_scenario(_obs_config(args, [registry])).run()
+    registry.absorb_simulation(handles.sim)
+    if args.format == "prometheus":
+        _emit(registry.render_prometheus(), args.out)
+    elif args.format == "json":
+        _emit(json.dumps(registry.as_dict(), indent=2, sort_keys=True)
+              + "\n", args.out)
+    else:
+        _emit(format_table(
+            ["metric", "value"], [list(r) for r in registry.rows()],
+            title=f"metrics — scenario {args.name}, "
+                  f"{args.duration:g}s simulated") + "\n", args.out)
     return 0
 
 
@@ -325,6 +416,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "dot": _cmd_dot,
         "validate": _cmd_validate,
         "chaos": _cmd_chaos,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
         "run": _cmd_run,
     }
     try:

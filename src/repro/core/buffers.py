@@ -76,6 +76,7 @@ class BufferRegistry:
         self._total = 0
         self._peak = 0
         self._observer: Callable[[int], None] | None = None
+        self._observers: list[Callable[[int], None]] = []
         #: Optional callback invoked with structured fields *before* an
         #: ingest/order violation raises — the hook tracing and fault
         #: monitors use to emit a trace event even when the error is about
@@ -101,6 +102,18 @@ class BufferRegistry:
         """Install a callback invoked with the new total after every change."""
         self._observer = observer
 
+    def add_observer(self, observer: Callable[[int], None]) -> None:
+        """Add one more change callback (the event-bus wiring uses this;
+        unlike :meth:`set_observer` it does not displace existing hooks)."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[int], None]) -> None:
+        """Remove a callback added with :meth:`add_observer` (no-op if gone)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
     def reset_peak(self) -> None:
         """Restart peak tracking from the current total (e.g. after warm-up)."""
         self._peak = self._total
@@ -111,6 +124,8 @@ class BufferRegistry:
             self._peak = self._total
         if self._observer is not None:
             self._observer(self._total)
+        for observer in self._observers:
+            observer(self._total)
 
 
 class StreamBuffer:

@@ -26,9 +26,10 @@ lets the kernel feed arrivals that became due while the engine was busy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Callable, Iterable
 
+from ..obs.bus import EventBus, Observer
 from .errors import ExecutionError
 from .ets import EtsPolicy, NoEts
 from .graph import QueryGraph
@@ -78,6 +79,14 @@ class EngineStats:
     invariant_violations: int = 0
     per_operator_steps: dict[str, int] = field(default_factory=dict)
 
+    def as_dict(self) -> dict[str, object]:
+        """Every counter under its canonical ``snake_case`` name.
+
+        This is the one serialized shape the metrics registry, the
+        exporters, and the report helpers consume.
+        """
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
 
 class ExecutionEngine:
     """Single-threaded DFS executor for one query graph.
@@ -108,6 +117,10 @@ class ExecutionEngine:
             (already installed on the graph); its per-round checks run at
             the end of every wake-up, and degrade-mode violations are
             counted into :attr:`EngineStats.invariant_violations`.
+        observers: Instrumentation observers (see :mod:`repro.obs`).  When
+            empty or None the engine stores no event bus at all and every
+            emission site reduces to one ``is None`` test — the zero-
+            overhead fast path guarded by ``bench_throughput.py``.
         max_steps_per_round: Safety valve for logical-mode loops; None means
             unbounded (the cost model plus event horizon bound real runs).
     """
@@ -119,6 +132,7 @@ class ExecutionEngine:
                  offer_ets_always: bool = False,
                  batch_size: int = 1,
                  monitor=None,
+                 observers: Iterable[Observer] | None = None,
                  max_steps_per_round: int | None = None) -> None:
         if not graph.is_validated:
             graph.validate()
@@ -142,6 +156,40 @@ class ExecutionEngine:
         self._iwp_ops = graph.iwp_operators()
         self._executable = [op for op in graph.operators
                             if not isinstance(op, SourceNode)]
+        obs_list = list(observers) if observers is not None else []
+        self.bus: EventBus | None = EventBus(obs_list) if obs_list else None
+        self._buffer_forward = None
+        self._wire_buffer_events()
+        if monitor is not None and self.bus is not None \
+                and getattr(monitor, "bus", None) is None:
+            monitor.bus = self.bus
+
+    def attach_observer(self, observer: Observer) -> "ExecutionEngine":
+        """Attach one observer, creating the event bus on first use."""
+        if self.bus is None:
+            self.bus = EventBus()
+        self.bus.attach(observer)
+        self._wire_buffer_events()
+        if self.monitor is not None \
+                and getattr(self.monitor, "bus", None) is None:
+            self.monitor.bus = self.bus
+        return self
+
+    def _wire_buffer_events(self) -> None:
+        """Feed buffer-occupancy changes to the bus iff someone listens."""
+        bus = self.bus
+        if bus is None or getattr(self, "_buffer_forward", None) is not None \
+                or not any(
+                    type(o).on_buffer_change is not Observer.on_buffer_change
+                    for o in bus.observers):
+            return
+        registry, clock = self.graph.registry, self.clock
+
+        def forward(total: int) -> None:
+            bus.buffer_change(total=total, time=clock.now())
+
+        self._buffer_forward = forward
+        registry.add_observer(forward)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -162,6 +210,9 @@ class ExecutionEngine:
         self.stats.rounds += 1
         if self.cost_model is not None:
             self.clock.advance(self.cost_model.scheduling_overhead)
+        if self.bus is not None:
+            self.bus.wakeup(round_id=self._round_id, time=self.clock.now(),
+                            entry=entry.name if entry is not None else None)
         self._refresh_idle()
         steps_before = self.stats.steps
 
@@ -194,6 +245,8 @@ class ExecutionEngine:
             # violations are only counted (and traced by the monitor).
             self.stats.invariant_violations += self.monitor.check(
                 self.clock.now())
+        if self.bus is not None:
+            self.bus.quiesce(round_id=self._round_id, time=self.clock.now())
 
     def run_to_quiescence(self) -> None:
         """Alias for ``wakeup()`` with no entry hint (useful in tests)."""
@@ -206,15 +259,26 @@ class ExecutionEngine:
         """Run the Execute/Continue cycle from ``start`` until a dead end.
 
         Returns True when any step executed or any ETS was injected.
+
+        NOS transitions are published to the event bus right here — the
+        single walk implementation serves tracing, metrics, and exporters
+        alike (the old ``TracingEngine`` duplicated this method and drifted;
+        now a missing observer costs one ``is None`` test per decision).
         """
         progress = False
         current = start
         execute = True  # False right after Backtrack ("repeat the NOS step")
+        bus = self.bus
         while True:
             self._pump_due()
             if isinstance(current, SourceNode):
                 nxt = self._forward_target(current)
                 if nxt is not None:
+                    if bus is not None:
+                        bus.nos_decision(decision="forward",
+                                         operator=nxt.name,
+                                         round_id=self._round_id,
+                                         time=self.clock.now())
                     current, execute = nxt, True
                     continue
                 if self._try_ets(current):
@@ -235,9 +299,17 @@ class ExecutionEngine:
             # [Continuation Step] — NOS rules
             nxt = self._forward_target(current)
             if nxt is not None:  # Forward
+                if bus is not None:
+                    bus.nos_decision(decision="forward", operator=nxt.name,
+                                     round_id=self._round_id,
+                                     time=self.clock.now())
                 current, execute = nxt, True
                 continue
             if current.more():  # Encore
+                if bus is not None:
+                    bus.nos_decision(decision="encore", operator=current.name,
+                                     round_id=self._round_id,
+                                     time=self.clock.now())
                 execute = True
                 continue
             # Backtrack: to the predecessor feeding the gating input.
@@ -247,6 +319,12 @@ class ExecutionEngine:
             pred = current.predecessors[j]
             if pred is None:
                 return progress
+            if bus is not None:
+                bus.nos_decision(decision="backtrack", operator=pred.name,
+                                 round_id=self._round_id,
+                                 time=self.clock.now(),
+                                 detail=f"stalled input {j} of "
+                                        f"{current.name}")
             current, execute = pred, False
 
     @staticmethod
@@ -270,11 +348,20 @@ class ExecutionEngine:
         stats.emitted_punctuation += result.emitted_punctuation
         per_op = stats.per_operator_steps
         per_op[op.name] = per_op.get(op.name, 0) + 1
+        cost = 0.0
         if self.cost_model is not None:
             cost = self.cost_model.step_cost(op, result)
             if cost:
                 self.clock.advance(cost)
                 stats.busy_time += cost
+        if self.bus is not None:
+            self.bus.step(
+                operator=op.name, round_id=self._round_id,
+                time=self.clock.now(),
+                kind="punct" if result.consumed_punctuation else "data",
+                probes=result.probes, emitted_data=result.emitted_data,
+                emitted_punctuation=result.emitted_punctuation,
+                duration=cost)
         self._refresh_idle()
         return result
 
@@ -295,11 +382,19 @@ class ExecutionEngine:
         stats.emitted_punctuation += batch.emitted_punctuation
         per_op = stats.per_operator_steps
         per_op[op.name] = per_op.get(op.name, 0) + batch.steps
+        cost = 0.0
         if self.cost_model is not None:
             cost = self.cost_model.batch_cost(op, batch)
             if cost:
                 self.clock.advance(cost)
                 stats.busy_time += cost
+        if self.bus is not None and batch.steps:
+            self.bus.step(
+                operator=op.name, round_id=self._round_id,
+                time=self.clock.now(), kind="batch", steps=batch.steps,
+                probes=batch.probes, emitted_data=batch.emitted_data,
+                emitted_punctuation=batch.emitted_punctuation,
+                duration=cost)
         self._refresh_idle()
         return batch
 
@@ -307,11 +402,12 @@ class ExecutionEngine:
     # ETS integration (the Backtrack-to-source hook)
 
     def _try_ets(self, source: SourceNode) -> bool:
-        if not self.offer_ets_always and not self._ets_needed():
-            return False
-        self.stats.ets_offers += 1
-        injected = self.ets_policy.on_source_stalled(
-            source, self.clock.now(), self._round_id)
+        offered = self.offer_ets_always or self._ets_needed()
+        injected = False
+        if offered:
+            self.stats.ets_offers += 1
+            injected = self.ets_policy.on_source_stalled(
+                source, self.clock.now(), self._round_id)
         if injected:
             self.stats.ets_injected += 1
             if self.cost_model is not None:
@@ -320,6 +416,14 @@ class ExecutionEngine:
                     self.clock.advance(cost)
                     self.stats.busy_time += cost
             self._refresh_idle()
+        if self.bus is not None:
+            self.bus.ets(operator=source.name, round_id=self._round_id,
+                         time=self.clock.now(), injected=injected,
+                         offered=offered)
+            if injected:
+                self.bus.punctuation(
+                    operator=source.name, round_id=self._round_id,
+                    time=self.clock.now(), origin="ets")
         return injected
 
     def _ets_needed(self) -> bool:

@@ -8,18 +8,23 @@ simple path produces exactly ``execute(Q1), forward(Q2), execute(Q2),
 backtrack(Q1), backtrack(source)`` — and so users can debug surprising
 schedules.
 
-Tracing is opt-in (pass ``tracer=`` to :class:`TracingEngine`) and costs one
-callback per decision when enabled, nothing when not.
+Since the :mod:`repro.obs` event bus landed, the tracer is an ordinary
+observer: attach ``TraceObserver(tracer)`` via
+``ExecutionEngine(observers=[...])`` and the engine's single walk
+implementation feeds it.  :class:`TracingEngine` remains as a deprecated
+shim that does exactly that wiring — its former hand-copied ``_walk``
+override (which silently drifted from the real engine, e.g. never learning
+about micro-batching) is gone.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable
 
+from ..obs.adapters import TraceObserver
 from .execution import ExecutionEngine
-from .operators.base import Operator, StepResult
-from .operators.source import SourceNode
 
 __all__ = ["TraceEvent", "Tracer", "TracingEngine"]
 
@@ -30,7 +35,9 @@ class TraceEvent:
 
     Attributes:
         kind: ``"execute"``, ``"forward"``, ``"encore"``, ``"backtrack"``,
-            ``"ets"``, or ``"quiesce"``.
+            ``"ets"``, ``"quiesce"``, a fault-path kind (``"degrade"``,
+            ``"fallback"``, ``"resync"``, ``"quarantine"``,
+            ``"violation"``), or the terminal ``"truncated"`` marker.
         operator: Name of the operator (or source) the decision concerns.
         round_id: Engine wake-up round during which it happened.
         detail: Optional extra (e.g. stalled input index for backtrack,
@@ -44,20 +51,40 @@ class TraceEvent:
 
 
 class Tracer:
-    """Accumulates :class:`TraceEvent` records with light query helpers."""
+    """Accumulates :class:`TraceEvent` records with light query helpers.
+
+    Args:
+        capacity: Optional cap on recorded events.  Hitting the cap no
+            longer loses information silently: a terminal ``"truncated"``
+            event marks the cut and :attr:`dropped` counts every event
+            discarded after it.
+    """
 
     def __init__(self, capacity: int | None = None) -> None:
         self.events: list[TraceEvent] = []
         self.capacity = capacity
+        self.dropped = 0
+
+    @property
+    def truncated(self) -> bool:
+        """Did recording hit the capacity limit?"""
+        return self.dropped > 0
 
     def record(self, kind: str, operator: str, round_id: int,
                detail: str = "") -> None:
         if self.capacity is not None and len(self.events) >= self.capacity:
+            if not self.dropped:
+                self.events.append(TraceEvent(
+                    "truncated", "-", round_id,
+                    detail=f"capacity {self.capacity} reached; "
+                           "subsequent events dropped"))
+            self.dropped += 1
             return
         self.events.append(TraceEvent(kind, operator, round_id, detail))
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped = 0
 
     def kinds(self) -> list[str]:
         return [e.kind for e in self.events]
@@ -79,76 +106,22 @@ class Tracer:
 
 
 class TracingEngine(ExecutionEngine):
-    """Drop-in :class:`ExecutionEngine` that reports decisions to a tracer.
+    """Deprecated: use ``ExecutionEngine(observers=[TraceObserver(tracer)])``.
 
-    The walk logic is inherited unchanged; this class only layers the
-    recording into the hook points (`_step`, `_try_ets`) and re-implements
-    the continuation bookkeeping of ``_walk`` to tag Forward / Encore /
-    Backtrack transitions.
+    This shim only performs that wiring (plus a :class:`DeprecationWarning`)
+    so old call sites keep producing identical trace streams through the
+    event bus.  It no longer overrides any engine internals.
     """
 
     def __init__(self, *args, tracer: Tracer | None = None, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
+        warnings.warn(
+            "TracingEngine is deprecated; pass "
+            "ExecutionEngine(observers=[TraceObserver(tracer)]) instead",
+            DeprecationWarning, stacklevel=2)
         self.tracer = tracer if tracer is not None else Tracer()
-
-    # -- recording hooks ------------------------------------------------ #
-
-    def _step(self, op: Operator) -> StepResult:
-        result = super()._step(op)
-        self.tracer.record("execute", op.name, self._round_id,
-                           detail="punct" if result.consumed_punctuation
-                           else "data")
-        return result
-
-    def _try_ets(self, source: SourceNode) -> bool:
-        injected = super()._try_ets(source)
-        self.tracer.record("ets", source.name, self._round_id,
-                           detail="injected" if injected else "declined")
-        return injected
-
-    # -- traced walk ----------------------------------------------------- #
-
-    def _walk(self, start: Operator) -> bool:  # noqa: C901 - mirrors base
-        progress = False
-        current = start
-        execute = True
-        while True:
-            self._pump_due()
-            if isinstance(current, SourceNode):
-                nxt = self._forward_target(current)
-                if nxt is not None:
-                    self.tracer.record("forward", nxt.name, self._round_id)
-                    current, execute = nxt, True
-                    continue
-                if self._try_ets(current):
-                    progress = True
-                    continue
-                return progress
-            if execute and current.more():
-                self._step(current)
-                progress = True
-            nxt = self._forward_target(current)
-            if nxt is not None:
-                self.tracer.record("forward", nxt.name, self._round_id)
-                current, execute = nxt, True
-                continue
-            if current.more():
-                self.tracer.record("encore", current.name, self._round_id)
-                execute = True
-                continue
-            if not current.inputs:
-                return progress
-            j = current.stalled_input_index()
-            pred = current.predecessors[j]
-            if pred is None:
-                return progress
-            self.tracer.record("backtrack", pred.name, self._round_id,
-                               detail=f"stalled input {j} of {current.name}")
-            current, execute = pred, False
-
-    def wakeup(self, entry: Operator | None = None) -> None:
-        super().wakeup(entry)
-        self.tracer.record("quiesce", "-", self._round_id)
+        observers = list(kwargs.pop("observers", None) or ())
+        observers.append(TraceObserver(self.tracer))
+        super().__init__(*args, observers=observers, **kwargs)
 
 
 def summarize(events: Iterable[TraceEvent]) -> dict[str, int]:

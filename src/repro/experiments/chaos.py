@@ -83,6 +83,24 @@ class ChaosReport:
     delivered: int = 0
     monitor_violations: int = 0
 
+    def as_dict(self) -> dict[str, object]:
+        """Every figure under its canonical ``snake_case`` name.
+
+        The one serialized shape shared with ``EngineStats.as_dict()`` and
+        ``RecoveryTracker.as_dict()``: the simulation summary and the
+        fault-plan stats are folded in flat, and the report's own fields
+        override on collision (they are the authoritative measurements).
+        """
+        out: dict[str, object] = dict(self.summary)
+        out.update(self.fault_stats)
+        out.update(
+            delivered=self.delivered,
+            time_to_liveness=self.time_to_liveness,
+            max_sink_gap=self.max_sink_gap,
+            monitor_violations=self.monitor_violations,
+        )
+        return out
+
     def rows(self) -> list[tuple[str, object]]:
         s = self.summary
         ttl = ("never" if self.time_to_liveness is None
@@ -163,7 +181,8 @@ def run_chaos_experiment(config: ChaosConfig) -> ChaosReport:
         summary=sim.summary(),
         fault_stats=plan.stats.as_dict(),
         time_to_liveness=tracker.time_to_liveness(after=config.outage_start),
-        max_sink_gap=tracker.max_gap if tracker.times else config.duration,
+        max_sink_gap=tracker.max_sink_gap if tracker.times
+        else config.duration,
         delivered=handles.sink.delivered,
         monitor_violations=monitor.violations,
     )

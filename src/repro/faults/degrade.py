@@ -32,12 +32,19 @@ from ..core.operators.source import SourceNode
 from ..core.timestamps import InternalClockEts, SkewBoundEts
 from ..core.tracing import Tracer
 from ..core.tuples import TimestampKind
+from ..obs.bus import EventBus, Observer
 
 __all__ = ["FallbackHeartbeat", "QuarantinePolicy", "StallDetector"]
 
 
-class StallDetector:
+class StallDetector(Observer):
     """Watches per-source silence and classifies sources as stalled.
+
+    The detector is an ordinary :class:`~repro.obs.bus.Observer`: the
+    kernel registers it on the engine's event bus, where its
+    :meth:`on_arrival` hook feeds :meth:`observe`.  When an arrival ends a
+    stall the :attr:`on_recovery` callback (set by the kernel) drives the
+    resync path.
 
     Args:
         timeout: Silence (stream seconds) after which a source counts as
@@ -49,6 +56,8 @@ class StallDetector:
     Attributes:
         stalled: Names of sources currently classified as stalled.
         stalls / recoveries: Lifetime transition counters.
+        on_recovery: Optional ``(source_name, now) -> None`` callback fired
+            when an observed arrival ends a stall.
     """
 
     def __init__(self, timeout: float, *,
@@ -64,7 +73,14 @@ class StallDetector:
         self.stalled: set[str] = set()
         self.stalls = 0
         self.recoveries = 0
+        self.on_recovery = None
         self._last_activity: dict[str, float] = {}
+
+    def on_arrival(self, *, operator: str, time: float,
+                   external_ts: float | None = None) -> None:
+        """Bus hook: every source arrival counts as activity."""
+        if self.observe(operator, time) and self.on_recovery is not None:
+            self.on_recovery(operator, time)
 
     def bind(self, graph, now: float) -> None:
         """Start watching every non-latent source of ``graph`` from ``now``.
@@ -197,7 +213,8 @@ class QuarantinePolicy:
       frontier, preserving content at the cost of timestamp fidelity.
 
     Counters are mirrored into the bound :class:`EngineStats` and every
-    decision emits a ``"quarantine"`` trace event when a tracer is bound.
+    decision is published as a ``"quarantine"`` fault event on the bound
+    event bus (or, lacking one, recorded on a legacy tracer).
     """
 
     MODES = ("raise", "drop", "clamp")
@@ -212,20 +229,27 @@ class QuarantinePolicy:
         self.raised = 0
         self._stats: EngineStats | None = None
         self._tracer: Tracer | None = None
+        self._bus: EventBus | None = None
 
     def bind(self, stats: EngineStats | None = None,
-             tracer: Tracer | None = None) -> None:
-        """Mirror counters into ``stats`` and decisions into ``tracer``."""
+             tracer: Tracer | None = None,
+             bus: EventBus | None = None) -> None:
+        """Mirror counters into ``stats`` and decisions onto ``bus``
+        (preferred) or ``tracer`` (legacy)."""
         self._stats = stats
         self._tracer = tracer
+        self._bus = bus
 
     @property
     def total(self) -> int:
         return self.dropped + self.clamped + self.raised
 
-    def _trace(self, source_name: str, detail: str) -> None:
-        if self._tracer is not None:
-            round_id = self._stats.rounds if self._stats is not None else 0
+    def _trace(self, source_name: str, detail: str, now: float) -> None:
+        round_id = self._stats.rounds if self._stats is not None else 0
+        if self._bus is not None:
+            self._bus.fault(kind="quarantine", operator=source_name,
+                            round_id=round_id, time=now, detail=detail)
+        elif self._tracer is not None:
             self._tracer.record("quarantine", source_name, round_id, detail)
 
     def handle(self, *, source_name: str, ts: float, floor: float,
@@ -239,16 +263,16 @@ class QuarantinePolicy:
             self.dropped += 1
             if self._stats is not None:
                 self._stats.quarantine_dropped += 1
-            self._trace(source_name, f"drop ts={ts} floor={floor}")
+            self._trace(source_name, f"drop ts={ts} floor={floor}", now)
             return None
         if self.mode == "clamp":
             self.clamped += 1
             if self._stats is not None:
                 self._stats.quarantine_clamped += 1
-            self._trace(source_name, f"clamp ts={ts} -> {floor}")
+            self._trace(source_name, f"clamp ts={ts} -> {floor}", now)
             return floor
         self.raised += 1
-        self._trace(source_name, f"raise ts={ts} floor={floor}")
+        self._trace(source_name, f"raise ts={ts} floor={floor}", now)
         raise TimestampError(
             f"source {source_name!r}: quarantined timestamp regression "
             f"({ts} below frontier {floor})",

@@ -13,12 +13,15 @@ watchdogs over a query graph:
   bound; liveness regained means the ceiling holds).
 
 Violations either **halt** (raise :class:`InvariantViolation`, for tests
-and strict deployments) or **degrade** (count, remember, and emit a
-``"violation"`` trace event, for chaos runs that must keep going).  The
-monitor also doubles as the trace bridge for ingest/buffer violations: when
-installed with a tracer it registers itself as the buffer registry's
-``on_violation`` observer, so out-of-order and schema rejections are traced
-*before* their error unwinds the stack.
+and strict deployments) or **degrade** (count, remember, and publish a
+``"violation"`` fault event, for chaos runs that must keep going).  The
+monitor is an ordinary :class:`~repro.obs.bus.Observer`: the engine hands
+it the event bus on construction so violations reach every exporter and
+metrics collector; lacking a bus it falls back to a legacy tracer.  It
+also doubles as the bridge for ingest/buffer violations: it registers
+itself as the buffer registry's ``on_violation`` observer, so out-of-order
+and schema rejections are published *before* their error unwinds the
+stack.
 """
 
 from __future__ import annotations
@@ -27,20 +30,26 @@ from ..core.errors import InvariantViolation, PolicyError
 from ..core.graph import QueryGraph
 from ..core.tracing import Tracer
 from ..core.tuples import LATENT_TS
+from ..obs.bus import EventBus, Observer
 
 __all__ = ["InvariantMonitor"]
 
 
-class InvariantMonitor:
+class InvariantMonitor(Observer):
     """Watchdog asserting engine invariants at runtime.
 
     Args:
         max_total_buffered: Ceiling on the graph-wide live-tuple count;
             None disables the bounded-growth check.
         mode: ``"halt"`` raises :class:`InvariantViolation` on the first
-            violation; ``"degrade"`` counts and traces but keeps running.
-        tracer: Optional tracer receiving ``"violation"`` events.
+            violation; ``"degrade"`` counts and publishes but keeps running.
+        tracer: Optional legacy tracer receiving ``"violation"`` events when
+            no event bus is attached.
         max_recorded: Cap on remembered violation messages.
+
+    Attributes:
+        bus: Event bus the ``"violation"`` fault events are published on;
+            set by the engine when it constructs its bus.
     """
 
     MODES = ("halt", "degrade")
@@ -58,6 +67,7 @@ class InvariantMonitor:
         self.max_total_buffered = max_total_buffered
         self.mode = mode
         self.tracer = tracer
+        self.bus: EventBus | None = None
         self.max_recorded = max_recorded
         self.violations = 0
         self.ingest_violations = 0
@@ -65,6 +75,7 @@ class InvariantMonitor:
         self._graph: QueryGraph | None = None
         self._register_floor: dict[int, float] = {}
         self._sink_last_ts: dict[str, float] = {}
+        self._last_now = 0.0
 
     # ------------------------------------------------------------------ #
     # Installation
@@ -107,6 +118,7 @@ class InvariantMonitor:
         """Run the per-round checks; returns new violations (degrade mode)."""
         if self._graph is None:
             return 0
+        self._last_now = now
         before = self.violations
         registry = self._graph.registry
         if (self.max_total_buffered is not None
@@ -128,22 +140,27 @@ class InvariantMonitor:
                 self._register_floor[id(buf)] = value
         return self.violations - before
 
+    def _publish(self, operator: str, message: str) -> None:
+        """Route one violation to the bus (preferred) or the legacy tracer."""
+        if self.bus is not None:
+            self.bus.fault(kind="violation", operator=operator,
+                           round_id=0, time=self._last_now, detail=message)
+        elif self.tracer is not None:
+            self.tracer.record("violation", operator, 0, message)
+
     def _violation(self, message: str, **fields) -> None:
         self.violations += 1
         if len(self.recorded) < self.max_recorded:
             self.recorded.append(message)
-        if self.tracer is not None:
-            self.tracer.record("violation", str(fields.get("operator", "-")),
-                               0, message)
+        self._publish(str(fields.get("operator", "-")), message)
         if self.mode == "halt":
             raise InvariantViolation(message, **fields)
 
     def _on_ingest_violation(self, **fields) -> None:
-        """Registry hook: trace ingest/buffer violations before they raise."""
+        """Registry hook: publish ingest violations before they raise."""
         self.ingest_violations += 1
-        if self.tracer is not None:
-            self.tracer.record(
-                "violation", str(fields.get("operator", "-")), 0,
-                f"{fields.get('kind', 'ingest')} ts="
-                f"{fields.get('offending_ts')} last="
-                f"{fields.get('last_seen_ts')}")
+        self._publish(
+            str(fields.get("operator", "-")),
+            f"{fields.get('kind', 'ingest')} ts="
+            f"{fields.get('offending_ts')} last="
+            f"{fields.get('last_seen_ts')}")

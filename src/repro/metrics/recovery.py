@@ -60,9 +60,33 @@ class RecoveryTracker:
         return len(self.times)
 
     @property
-    def max_gap(self) -> float:
-        """Largest silent interval between consecutive deliveries."""
+    def max_sink_gap(self) -> float:
+        """Largest silent interval between consecutive deliveries.
+
+        This is the canonical name (matching ``ChaosReport.max_sink_gap``
+        and the ``repro_recovery{field=max_sink_gap}`` metric);
+        :attr:`max_gap` is kept as a back-compat alias.
+        """
         return self._max_gap
+
+    @property
+    def max_gap(self) -> float:
+        """Deprecated alias for :attr:`max_sink_gap`."""
+        return self._max_gap
+
+    def as_dict(self) -> dict[str, float]:
+        """The liveness figures under their canonical ``snake_case`` names.
+
+        One shape shared with ``EngineStats.as_dict()`` and
+        ``ChaosReport.as_dict()``; this is what
+        :meth:`repro.obs.MetricsRegistry.absorb_recovery` consumes.
+        """
+        return {
+            "deliveries": float(self.deliveries),
+            "max_sink_gap": self._max_gap,
+            "first_delivery": self.times[0] if self.times else float("nan"),
+            "last_delivery": self.times[-1] if self.times else float("nan"),
+        }
 
     def first_delivery_after(self, t: float) -> float | None:
         """Instant of the first delivery at or after ``t`` (None if never)."""

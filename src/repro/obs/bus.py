@@ -1,0 +1,200 @@
+"""The instrumentation event bus: one dispatch point for engine observability.
+
+Every interesting decision the system takes — an operator execution step, a
+Next-Operator-Selection transition, an ETS consultation, a punctuation
+injection, a buffer-occupancy change, a fault-path action — is published to
+an :class:`EventBus` as a *typed hook*: a named method with keyword-only
+fields.  Anything that wants to watch the engine subclasses
+:class:`Observer`, overrides the hooks it cares about, and registers on the
+bus; tracing, metrics, exporters, and fault monitors are all ordinary
+observers of the same stream of events.
+
+Design constraints, in order:
+
+1. **Zero overhead when nobody is listening.**  The engine stores ``None``
+   instead of a bus when no observer is attached, so every emission site is
+   a single local-variable ``is None`` test (the module-level
+   :data:`NULL_BUS` serves call sites that prefer an unconditional call).
+   ``bench_throughput.py`` guards this with a ≤2 % assertion against an
+   instrumentation-free reference walk.
+2. **Observer isolation.**  A failing observer must never kill the engine
+   walk: exceptions raised by hooks are caught, counted, and remembered on
+   :attr:`EventBus.errors`; remaining observers still receive the event.
+3. **Deterministic ordering.**  Observers are invoked in registration
+   order, for every event.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["HOOKS", "Observer", "EventBus", "NullBus", "NULL_BUS"]
+
+#: The typed hook points, in the vocabulary used across the system.
+HOOKS = (
+    "on_wakeup",
+    "on_step",
+    "on_nos_decision",
+    "on_ets",
+    "on_punctuation",
+    "on_arrival",
+    "on_buffer_change",
+    "on_fault",
+    "on_quiesce",
+)
+
+
+class Observer:
+    """Base observer: every hook is a no-op; override what you need.
+
+    Hook fields are keyword-only and stable — they are the instrumentation
+    contract exporters and metrics build on:
+
+    * :meth:`on_wakeup` — an engine wake-up round began.
+    * :meth:`on_step` — one execution step ran (``kind`` is ``"data"``,
+      ``"punct"``, or ``"batch"``; ``steps`` > 1 for micro-batched runs;
+      ``duration`` is the simulated CPU seconds charged).
+    * :meth:`on_nos_decision` — a Forward / Encore / Backtrack transition
+      (``decision``), with ``operator`` the transition target.
+    * :meth:`on_ets` — a stalled source consulted the ETS policy
+      (``injected`` tells whether a punctuation resulted).
+    * :meth:`on_punctuation` — a punctuation entered the graph at a source
+      (``origin`` is ``"ets"``, ``"heartbeat"``, or ``"fallback"``; ``ts``
+      is its timestamp when the caller knows it).
+    * :meth:`on_buffer_change` — the graph-wide live-element total moved.
+    * :meth:`on_fault` — a fault-path action (``kind`` is ``"degrade"``,
+      ``"fallback"``, ``"resync"``, ``"quarantine"``, ``"violation"``, …).
+    * :meth:`on_quiesce` — the wake-up round ran out of work.
+    """
+
+    def on_wakeup(self, *, round_id: int, time: float,
+                  entry: str | None = None) -> None:
+        """An engine wake-up round began."""
+
+    def on_step(self, *, operator: str, round_id: int, time: float,
+                kind: str, steps: int = 1, probes: int = 0,
+                emitted_data: int = 0, emitted_punctuation: int = 0,
+                duration: float = 0.0) -> None:
+        """One execution step (or batched run of steps) completed."""
+
+    def on_nos_decision(self, *, decision: str, operator: str,
+                        round_id: int, time: float, detail: str = "") -> None:
+        """The engine took a Forward / Encore / Backtrack transition."""
+
+    def on_ets(self, *, operator: str, round_id: int, time: float,
+               injected: bool, offered: bool = True) -> None:
+        """A backtracked-to source consulted the ETS policy."""
+
+    def on_punctuation(self, *, operator: str, round_id: int, time: float,
+                       origin: str, ts: float | None = None) -> None:
+        """A punctuation was injected into a source's output stream."""
+
+    def on_arrival(self, *, operator: str, time: float,
+                   external_ts: float | None = None) -> None:
+        """A workload tuple arrived at a source (kernel-side event)."""
+
+    def on_buffer_change(self, *, total: int, time: float) -> None:
+        """The graph-wide buffered-element total changed."""
+
+    def on_fault(self, *, kind: str, operator: str, round_id: int,
+                 time: float, detail: str = "") -> None:
+        """A fault-path action happened (degrade, resync, violation, …)."""
+
+    def on_quiesce(self, *, round_id: int, time: float) -> None:
+        """The engine's wake-up round reached quiescence."""
+
+
+class EventBus:
+    """Fans events out to registered observers, isolating their failures.
+
+    Args:
+        observers: Initial observers, invoked in this order for every event.
+        max_errors: Cap on remembered ``(observer, hook, exception)``
+            records; failures beyond the cap are still counted in
+            :attr:`error_count`.
+    """
+
+    __slots__ = ("observers", "errors", "error_count", "max_errors")
+
+    def __init__(self, observers: Iterable[Observer] = (),
+                 *, max_errors: int = 100) -> None:
+        self.observers: list[Observer] = list(observers)
+        self.errors: list[tuple[Observer, str, Exception]] = []
+        self.error_count = 0
+        self.max_errors = max_errors
+
+    def attach(self, observer: Observer) -> "EventBus":
+        """Register ``observer`` (appended: it sees events last)."""
+        self.observers.append(observer)
+        return self
+
+    def detach(self, observer: Observer) -> None:
+        """Unregister ``observer`` (no-op when not registered)."""
+        try:
+            self.observers.remove(observer)
+        except ValueError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self.observers)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+
+    def _emit(self, hook: str, kw: dict) -> None:
+        for observer in self.observers:
+            try:
+                getattr(observer, hook)(**kw)
+            except Exception as exc:  # noqa: BLE001 - isolation by contract
+                self.error_count += 1
+                if len(self.errors) < self.max_errors:
+                    self.errors.append((observer, hook, exc))
+
+    def wakeup(self, **kw) -> None:
+        self._emit("on_wakeup", kw)
+
+    def step(self, **kw) -> None:
+        self._emit("on_step", kw)
+
+    def nos_decision(self, **kw) -> None:
+        self._emit("on_nos_decision", kw)
+
+    def ets(self, **kw) -> None:
+        self._emit("on_ets", kw)
+
+    def punctuation(self, **kw) -> None:
+        self._emit("on_punctuation", kw)
+
+    def arrival(self, **kw) -> None:
+        self._emit("on_arrival", kw)
+
+    def buffer_change(self, **kw) -> None:
+        self._emit("on_buffer_change", kw)
+
+    def fault(self, **kw) -> None:
+        self._emit("on_fault", kw)
+
+    def quiesce(self, **kw) -> None:
+        self._emit("on_quiesce", kw)
+
+
+class NullBus(EventBus):
+    """A bus that drops everything — the module-level no-op fast path.
+
+    Call sites outside the engine's hot loops (kernel event trains, fault
+    monitors) use ``bus or NULL_BUS`` so they can emit unconditionally; the
+    engine itself keeps the cheaper ``if bus is not None`` guard.
+    """
+
+    __slots__ = ()
+
+    def attach(self, observer: Observer) -> "EventBus":
+        raise TypeError("NULL_BUS is shared and immutable; "
+                        "create an EventBus to attach observers")
+
+    def _emit(self, hook: str, kw: dict) -> None:
+        pass
+
+
+#: Shared do-nothing bus; safe to emit into from anywhere.
+NULL_BUS = NullBus()

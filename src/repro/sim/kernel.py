@@ -32,6 +32,7 @@ from ..core.execution import ExecutionEngine
 from ..core.graph import QueryGraph
 from ..core.operators.source import SourceNode
 from ..metrics.idle import IdleTracker
+from ..obs.bus import NULL_BUS, Observer
 from .clock import VirtualClock
 from .cost import CostModel
 from .events import EventQueue
@@ -86,6 +87,10 @@ class Simulation:
         monitor: Optional
             :class:`~repro.faults.monitors.InvariantMonitor`; installed on
             the graph here and checked by the engine each wake-up.
+        observers: Instrumentation observers (see :mod:`repro.obs`),
+            forwarded to the engine's event bus; the kernel additionally
+            publishes its own events (arrivals, heartbeat / fallback
+            punctuation, degradation-ladder actions) on the same bus.
     """
 
     def __init__(self, graph: QueryGraph, *,
@@ -99,6 +104,7 @@ class Simulation:
                  stall_detector=None,
                  quarantine=None,
                  monitor=None,
+                 observers: list[Observer] | None = None,
                  max_steps_per_round: int | None = None,
                  engine_cls: type[ExecutionEngine] = ExecutionEngine,
                  engine_kwargs: dict | None = None) -> None:
@@ -115,6 +121,11 @@ class Simulation:
         merged_kwargs = dict(engine_kwargs or {})
         if batch_size != 1:
             merged_kwargs.setdefault("batch_size", batch_size)
+        obs_list = list(observers or [])
+        obs_list.extend(merged_kwargs.pop("observers", None) or [])
+        if stall_detector is not None and isinstance(stall_detector, Observer):
+            # The detector hears arrivals as an ordinary bus observer.
+            obs_list.append(stall_detector)
         self.engine = engine_cls(
             graph, self.clock,
             cost_model=self.cost_model,
@@ -123,22 +134,31 @@ class Simulation:
             deliver_due=self._deliver_due,
             offer_ets_always=offer_ets_always,
             monitor=monitor,
+            observers=obs_list or None,
             max_steps_per_round=max_steps_per_round,
             **merged_kwargs,
         )
+        #: The engine's event bus (or the shared no-op bus): the kernel's
+        #: own events — arrivals, punctuation trains, fault-ladder actions —
+        #: are published here so every observer sees one unified stream.
+        self._bus = self.engine.bus if self.engine.bus is not None \
+            else NULL_BUS
         self.periodic = periodic
         self.monitor = monitor
         self.stall_detector = stall_detector
-        if stall_detector is not None and not callable(
-                getattr(self.engine.ets_policy, "degrade", None)):
-            raise PolicyError(
-                "stall_detector requires a degradation-capable ETS policy; "
-                "wrap yours in repro.faults.FallbackHeartbeat"
-            )
+        if stall_detector is not None:
+            if not callable(getattr(self.engine.ets_policy, "degrade", None)):
+                raise PolicyError(
+                    "stall_detector requires a degradation-capable ETS "
+                    "policy; wrap yours in repro.faults.FallbackHeartbeat"
+                )
+            if getattr(stall_detector, "on_recovery", None) is None:
+                stall_detector.on_recovery = self._on_source_recovered
         self.quarantine = quarantine
         if quarantine is not None:
             quarantine.bind(stats=self.engine.stats,
-                            tracer=getattr(self.engine, "tracer", None))
+                            tracer=getattr(self.engine, "tracer", None),
+                            bus=self.engine.bus)
             for source in graph.sources():
                 source.quarantine = quarantine
         self._arrival_iters: dict[str, Iterator[Arrival]] = {}
@@ -206,14 +226,22 @@ class Simulation:
         source.ingest(arrival.payload, now=self.clock.now(),
                       ts=arrival.external_ts, arrival=arrival.time)
         self.arrivals_delivered += 1
-        if self.stall_detector is not None:
-            recovered = self.stall_detector.observe(source.name,
-                                                    self.clock.now())
-            if recovered and self.engine.ets_policy.resync(source.name):
-                self.engine.stats.resyncs += 1
-                self._trace("resync", source.name,
-                            f"recovered at t={self.clock.now():g}")
+        # A bus-registered StallDetector hears this as on_arrival and calls
+        # back through _on_source_recovered; a legacy (non-Observer)
+        # detector is driven directly.
+        self._bus.arrival(operator=source.name, time=self.clock.now(),
+                          external_ts=arrival.external_ts)
+        if self.stall_detector is not None \
+                and not isinstance(self.stall_detector, Observer):
+            if self.stall_detector.observe(source.name, self.clock.now()):
+                self._on_source_recovered(source.name, self.clock.now())
         return source
+
+    def _on_source_recovered(self, name: str, now: float) -> None:
+        """A silent source spoke again: resync it off its fallback train."""
+        if self.engine.ets_policy.resync(name):
+            self.engine.stats.resyncs += 1
+            self._fault("resync", name, f"recovered at t={now:g}")
 
     def _start_heartbeats(self) -> None:
         if self.periodic is None:
@@ -232,10 +260,15 @@ class Simulation:
             cost = self.cost_model.heartbeat_injection
             if cost:
                 self.clock.advance(cost)
-            if source.inject_punctuation(self.clock.now(),
+            ts = self.clock.now()
+            if source.inject_punctuation(ts,
                                          origin=f"heartbeat:{source.name}",
                                          periodic=True):
                 self.heartbeats_delivered += 1
+                self._bus.punctuation(operator=source.name,
+                                      round_id=self.engine.round_id,
+                                      time=self.clock.now(),
+                                      origin="heartbeat", ts=ts)
             # The schedule decides the next gap (fixed schedules keep their
             # grid; adaptive ones re-estimate from observed traffic), dated
             # from the nominal fire time even when delivered late.
@@ -248,8 +281,18 @@ class Simulation:
     # ------------------------------------------------------------------ #
     # Degradation ladder (stall watchdog + fallback heartbeat trains)
 
-    def _trace(self, kind: str, operator: str, detail: str = "") -> None:
-        """Record a kernel-side decision when the engine carries a tracer."""
+    def _fault(self, kind: str, operator: str, detail: str = "") -> None:
+        """Publish a kernel-side fault-ladder action on the event bus.
+
+        With a bus attached every observer (tracers included, via
+        :class:`~repro.obs.adapters.TraceObserver`) sees the event; without
+        one, a legacy engine-side tracer is still fed directly.
+        """
+        if self._bus is not NULL_BUS:
+            self._bus.fault(kind=kind, operator=operator,
+                            round_id=self.engine.round_id,
+                            time=self.clock.now(), detail=detail)
+            return
         tracer = getattr(self.engine, "tracer", None)
         if tracer is not None:
             tracer.record(kind, operator, self.engine.round_id, detail)
@@ -270,7 +313,7 @@ class Simulation:
                 source = self.graph[name]
                 if policy.degrade(source, now):
                     self.engine.stats.degradations += 1
-                    self._trace("degrade", name,
+                    self._fault("degrade", name,
                                 f"silent since before t={now:g}")
                     # First fallback heartbeat fires immediately: detection
                     # latency, not heartbeat phase, bounds time-to-liveness.
@@ -294,7 +337,11 @@ class Simulation:
                     ts, origin=f"fallback:{source.name}", periodic=True):
                 policy.fallback_heartbeats += 1
                 self.engine.stats.fallback_heartbeats += 1
-                self._trace("fallback", source.name, f"ts={ts:g}")
+                self._fault("fallback", source.name, f"ts={ts:g}")
+                self._bus.punctuation(operator=source.name,
+                                      round_id=self.engine.round_id,
+                                      time=self.clock.now(),
+                                      origin="fallback", ts=ts)
             self._schedule_fallback(source, when + policy.heartbeat_period)
             return source
 

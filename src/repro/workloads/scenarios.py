@@ -70,6 +70,9 @@ class ScenarioConfig:
         engine_cls / engine_kwargs: Alternative execution engine (e.g.
             :class:`~repro.core.scheduling.RoundRobinEngine`) for the X4
             scheduling ablation; None selects the paper's DFS engine.
+        observers: Instrumentation observers (see :mod:`repro.obs`)
+            registered on the engine's event bus; None (the default) keeps
+            the zero-overhead uninstrumented path.
     """
 
     scenario: str = "C"
@@ -89,6 +92,7 @@ class ScenarioConfig:
     batch_size: int = 1
     engine_cls: type | None = None
     engine_kwargs: dict | None = None
+    observers: list | None = None
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
@@ -171,6 +175,8 @@ def _make_simulation(config: ScenarioConfig, graph: QueryGraph,
         kwargs["engine_cls"] = config.engine_cls
     if config.engine_kwargs is not None:
         kwargs["engine_kwargs"] = config.engine_kwargs
+    if config.observers is not None:
+        kwargs["observers"] = list(config.observers)
     return Simulation(
         graph,
         ets_policy=config.make_policy(),

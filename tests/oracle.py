@@ -91,13 +91,17 @@ class DifferentialOracle:
 
     def run(self, *, batch_size: int = 1,
             ets_policy: EtsPolicy | None = None,
-            punctuate: bool = False, eos: bool = True) -> list[SinkRecord]:
+            punctuate: bool = False, eos: bool = True,
+            observers=None) -> list[SinkRecord]:
         """Replay the schedule under one engine configuration.
 
         After the schedule, an end-of-stream punctuation is injected on
         every source (``eos=True``) so each variant drains completely —
         without it, NoEts legitimately strands enabled-but-ungated tuples
         at quiescence and delivery *sets* would differ across policies.
+
+        ``observers`` attaches instrumentation (see :mod:`repro.obs`) —
+        used to assert that observing a run never changes its output.
 
         Returns the canonical sink sequence: delivered data tuples as
         ``(sink_name, ts, payload)`` triples, in delivery order, sinks in
@@ -113,6 +117,7 @@ class DifferentialOracle:
             cost_model=None,
             ets_policy=ets_policy if ets_policy is not None else NoEts(),
             batch_size=batch_size,
+            observers=observers,
         )
         sources = {src.name: src for src in graph.sources()}
         for chunk_no, group in enumerate(_chunks(self.feeds, self.chunk), 1):

@@ -1,11 +1,13 @@
-"""Tests asserting the paper's NOS rules through the tracing engine."""
+"""Tests asserting the paper's NOS rules through the trace observer."""
 
 import pytest
 
 from repro.core.ets import NoEts, OnDemandEts
+from repro.core.execution import ExecutionEngine
 from repro.core.graph import QueryGraph
 from repro.core.operators import Select, Union
 from repro.core.tracing import Tracer, TracingEngine, summarize
+from repro.obs import TraceObserver
 from repro.sim.clock import VirtualClock
 from repro.sim.cost import CostModel
 
@@ -37,9 +39,10 @@ def union_graph():
 
 def make_engine(graph, policy=None):
     tracer = Tracer()
-    engine = TracingEngine(graph, VirtualClock(),
-                           cost_model=CostModel.zero(),
-                           ets_policy=policy, tracer=tracer)
+    engine = ExecutionEngine(graph, VirtualClock(),
+                             cost_model=CostModel.zero(),
+                             ets_policy=policy,
+                             observers=[TraceObserver(tracer)])
     return engine, tracer
 
 
@@ -123,12 +126,50 @@ class TestBacktrackToStalledPred:
         assert all(e.detail == "declined" for e in tracer.of_kind("ets"))
 
 
+class TestDeprecatedTracingEngine:
+    def test_shim_warns_and_traces_identically(self):
+        """TracingEngine still works — one DeprecationWarning, same stream."""
+        g, src = simple_path()
+        tracer = Tracer()
+        with pytest.deprecated_call():
+            engine = TracingEngine(g, VirtualClock(),
+                                   cost_model=CostModel.zero(),
+                                   tracer=tracer)
+        src.ingest({"v": 1}, now=0.0)
+        engine.wakeup(entry=src)
+        g2, src2 = simple_path()
+        engine2, tracer2 = make_engine(g2)
+        src2.ingest({"v": 1}, now=0.0)
+        engine2.wakeup(entry=src2)
+        assert tracer.sequence() == tracer2.sequence()
+
+    def test_shim_default_tracer(self):
+        g, _src = simple_path()
+        with pytest.deprecated_call():
+            engine = TracingEngine(g, VirtualClock(),
+                                   cost_model=CostModel.zero())
+        assert isinstance(engine.tracer, Tracer)
+
+    def test_shim_no_walk_override(self):
+        """The hand-copied _walk duplicate is gone: one walk implementation."""
+        assert "_walk" not in TracingEngine.__dict__
+        assert "_step" not in TracingEngine.__dict__
+        assert "_try_ets" not in TracingEngine.__dict__
+
+
 class TestTracerUtilities:
-    def test_capacity_bounds_recording(self):
+    def test_capacity_appends_truncated_marker(self):
+        """Hitting capacity is loud: a terminal event plus a drop counter."""
         tracer = Tracer(capacity=2)
         for i in range(5):
             tracer.record("execute", f"op{i}", 1)
-        assert len(tracer.events) == 2
+        assert len(tracer.events) == 3  # 2 regular + the truncated marker
+        assert tracer.kinds() == ["execute", "execute", "truncated"]
+        assert tracer.dropped == 3
+        assert tracer.truncated
+        # clearing resets the truncation state too
+        tracer.clear()
+        assert not tracer.truncated and tracer.dropped == 0
 
     def test_clear(self):
         tracer = Tracer()
