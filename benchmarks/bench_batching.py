@@ -24,6 +24,8 @@ from repro.core.graph import QueryGraph
 from repro.core.operators import Select, Union
 from repro.sim.clock import VirtualClock
 
+from record import record_bench
+
 FAST_TUPLES = 30_000
 SLOW_TUPLES = 30
 CHUNK = 256          # arrivals ingested between engine wake-ups
@@ -100,6 +102,17 @@ def test_batched_engine_speedup():
     print(f"  batched     batch_size={BATCH_SIZE}: {batched_s * 1e3:8.1f} ms "
           f"({total / batched_s:>10,.0f} tuples/s)")
     print(f"  speedup: {speedup:.2f}x")
+    record_bench(
+        "batching",
+        {"scalar": {"wall_s": round(scalar_s, 4),
+                    "tuples_per_s": round(total / scalar_s)},
+         "batched": {"batch_size": BATCH_SIZE,
+                     "wall_s": round(batched_s, 4),
+                     "tuples_per_s": round(total / batched_s)},
+         "delivered": scalar_out, "speedup": round(speedup, 2)},
+        workload={"fast_tuples": FAST_TUPLES, "slow_tuples": SLOW_TUPLES,
+                  "ingest_chunk": CHUNK},
+        thresholds={"min_speedup": MIN_SPEEDUP})
     assert speedup >= MIN_SPEEDUP, (
         f"batched path only {speedup:.2f}x faster; expected >= {MIN_SPEEDUP}x"
     )

@@ -1,0 +1,147 @@
+"""Bench X8: hash-indexed equality joins vs the window-scan layout.
+
+Not a paper artefact — this measures the reproduction itself.  A scan join
+examines every tuple of the opposite window per probing tuple, so its work
+is O(window); the hash-partitioned layout examines only the matching key
+bucket, O(window / cardinality) under uniform keys.  This bench sweeps
+window extent x key cardinality over identical workloads and engine
+configurations, asserting:
+
+* byte-identical sink deliveries (the oracle in
+  ``tests/test_join_index.py`` proves this exhaustively; here it doubles
+  as a sanity check on the measured runs);
+* >= 3x fewer *examined* probes at cardinality >= 16 (expected reduction
+  tracks the cardinality itself);
+* lower wall-clock at cardinality >= 16, where probe work dominates.
+
+The sweep is written to ``BENCH_join.json`` (see ``record.py``) as the
+perf-trajectory record for the indexed join.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.execution import ExecutionEngine
+from repro.core.graph import QueryGraph
+from repro.core.operators import WindowJoin
+from repro.core.windows import WindowSpec
+from repro.sim.clock import VirtualClock
+
+from record import record_bench
+
+TUPLES_PER_SIDE = 2_000
+PERIOD = 0.01            # 100 tuples/s per side
+CHUNK = 64               # arrivals ingested between engine wake-ups
+SPANS = (1.0, 4.0)       # time-window extents (~100 and ~400 live tuples)
+CARDINALITIES = (4, 16, 64)
+MIN_PROBE_REDUCTION = 3.0   # asserted at cardinality >= 16
+REDUCTION_CARDINALITY = 16
+
+
+def _make_feeds(cardinality: int) -> list[tuple[int, float, dict]]:
+    """Two symmetric keyed streams, interleaved by arrival time."""
+    rng = random.Random(7 * cardinality + 1)
+    feeds = []
+    for side in (0, 1):
+        for i in range(TUPLES_PER_SIDE):
+            feeds.append((side, i * PERIOD + side * PERIOD / 2,
+                          {"seq": i, "k": rng.randrange(cardinality),
+                           "value": rng.random()}))
+    feeds.sort(key=lambda f: f[1])
+    return feeds
+
+
+def _build(span: float, indexed: bool):
+    graph = QueryGraph("bench-join-index")
+    fast = graph.add_source("fast")
+    slow = graph.add_source("slow")
+    join = graph.add(WindowJoin("join", WindowSpec.time(span),
+                                key="k", indexed=indexed))
+    delivered: list = []
+    sink = graph.add_sink("sink", on_output=lambda t, lat: delivered.append(
+        (t.ts, tuple(sorted(t.payload.items())))))
+    graph.connect(fast, join)
+    graph.connect(slow, join)
+    graph.connect(join, sink)
+    return graph, (fast, slow), delivered
+
+
+def _drive(span: float, cardinality: int, indexed: bool,
+           feeds) -> tuple[float, int, int, list]:
+    """One measured run: (wall s, probes examined, probes emitted, output)."""
+    graph, sources, delivered = _build(span, indexed)
+    clock = VirtualClock()
+    engine = ExecutionEngine(graph, clock, cost_model=None)
+    start = time.perf_counter()
+    for base in range(0, len(feeds), CHUNK):
+        for idx, when, payload in feeds[base:base + CHUNK]:
+            clock.advance_to(when)
+            sources[idx].ingest(payload, now=clock.now(), arrival=when)
+        engine.wakeup(sources[0])
+    final_ts = clock.now() + 1.0
+    for source in sources:
+        source.inject_punctuation(final_ts, origin="bench-eos")
+    engine.wakeup()
+    elapsed = time.perf_counter() - start
+    stats = engine.stats
+    return elapsed, stats.probes, stats.probes_emitted, delivered
+
+
+def test_indexed_join_probe_reduction():
+    rows = []
+    total = TUPLES_PER_SIDE * 2
+    print("\nX8 — indexed vs scan join (probes examined per layout):")
+    for span in SPANS:
+        for cardinality in CARDINALITIES:
+            feeds = _make_feeds(cardinality)
+            # Wall-clock: interleaved min-of-3 (noise only inflates, and
+            # interleaving keeps a load spike from biasing one layout);
+            # probes are deterministic so any run's counts are the counts.
+            scan_runs, idx_runs = [], []
+            for _ in range(3):
+                scan_runs.append(_drive(span, cardinality, False, feeds))
+                idx_runs.append(_drive(span, cardinality, True, feeds))
+            scan_wall, scan_probes, scan_emitted, scan_out = min(
+                scan_runs, key=lambda r: r[0])
+            idx_wall, idx_probes, idx_emitted, idx_out = min(
+                idx_runs, key=lambda r: r[0])
+
+            assert scan_out == idx_out and len(scan_out) > 0, (
+                f"span={span} cardinality={cardinality}: "
+                "indexed output diverged from scan")
+            assert idx_emitted == scan_emitted == len(scan_out)
+            reduction = scan_probes / idx_probes if idx_probes else float("inf")
+            speedup = scan_wall / idx_wall
+            rows.append({
+                "window_span_s": span, "key_cardinality": cardinality,
+                "delivered": len(scan_out),
+                "scan": {"wall_s": round(scan_wall, 4),
+                         "probes_examined": scan_probes,
+                         "tuples_per_s": round(total / scan_wall)},
+                "indexed": {"wall_s": round(idx_wall, 4),
+                            "probes_examined": idx_probes,
+                            "tuples_per_s": round(total / idx_wall)},
+                "probes_emitted": idx_emitted,
+                "probe_reduction": round(reduction, 2),
+                "wall_speedup": round(speedup, 2),
+            })
+            print(f"  span={span:>4}s card={cardinality:>3}: "
+                  f"probes {scan_probes:>9,} -> {idx_probes:>9,} "
+                  f"({reduction:5.1f}x), wall {scan_wall * 1e3:7.1f} -> "
+                  f"{idx_wall * 1e3:7.1f} ms ({speedup:.2f}x)")
+            if cardinality >= REDUCTION_CARDINALITY:
+                assert reduction >= MIN_PROBE_REDUCTION, (
+                    f"span={span} cardinality={cardinality}: probe "
+                    f"reduction {reduction:.2f}x < {MIN_PROBE_REDUCTION}x")
+                assert idx_wall < scan_wall, (
+                    f"span={span} cardinality={cardinality}: indexed join "
+                    f"slower than scan ({idx_wall:.4f}s vs {scan_wall:.4f}s)")
+
+    record_bench(
+        "join", rows,
+        workload={"tuples_per_side": TUPLES_PER_SIDE, "period_s": PERIOD,
+                  "ingest_chunk": CHUNK},
+        thresholds={"min_probe_reduction": MIN_PROBE_REDUCTION,
+                    "at_cardinality": REDUCTION_CARDINALITY})

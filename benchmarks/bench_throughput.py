@@ -24,6 +24,8 @@ from repro.sim.clock import VirtualClock
 from repro.sim.cost import CostModel
 from repro.workloads.scenarios import ScenarioConfig, build_union_scenario
 
+from record import record_bench
+
 TUPLES_TARGET = 3000
 # 100 tuples/s for 30 simulated seconds ≈ 3000 tuples per run
 CFG = dict(scenario="C", duration=30.0, rate_fast=100.0, rate_slow=1.0,
@@ -42,6 +44,11 @@ def test_engine_throughput(benchmark):
     print(f"\nX5 — engine throughput: {delivered / mean_s:,.0f} "
           f"delivered tuples per wall second "
           f"({delivered} tuples in {mean_s * 1e3:.1f} ms)")
+    record_bench(
+        "throughput",
+        {"delivered_tuples": delivered, "mean_run_s": round(mean_s, 4),
+         "delivered_per_s": round(delivered / mean_s)},
+        workload=CFG | {"cost_model": "zero"})
 
 
 # --------------------------------------------------------------------- #
@@ -102,6 +109,7 @@ class _BareEngine(ExecutionEngine):
         elif result.consumed is not None:
             stats.data_steps += 1
         stats.probes += result.probes
+        stats.probes_emitted += result.probes_emitted
         stats.emitted_data += result.emitted_data
         stats.emitted_punctuation += result.emitted_punctuation
         per_op = stats.per_operator_steps

@@ -35,6 +35,7 @@ from .api import (
     ReproError,
     ScenarioConfig,
     Simulation,
+    build_join_scenario,
     build_union_scenario,
     compile_query,
     constant_arrivals,
@@ -153,6 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--rate-slow", type=float, default=0.05)
         p.add_argument("--heartbeat-rate", type=float, default=None)
         p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--join", action="store_true",
+                       help="instrument the window-join variant of the "
+                            "query (exposes the join-probe counters)")
         p.add_argument("--out", type=str, default=None,
                        help="write to this path instead of stdout")
 
@@ -330,7 +334,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         exporter = ChromeTraceExporter()
     else:
         exporter = JsonlExporter(capacity=args.limit)
-    handles = build_union_scenario(_obs_config(args, [exporter])).run()
+    build = build_join_scenario if args.join else build_union_scenario
+    handles = build(_obs_config(args, [exporter])).run()
     if args.format == "chrome":
         _emit(exporter.to_json(), args.out)
     else:
@@ -345,7 +350,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
-    handles = build_union_scenario(_obs_config(args, [registry])).run()
+    build = build_join_scenario if args.join else build_union_scenario
+    handles = build(_obs_config(args, [registry])).run()
     registry.absorb_simulation(handles.sim)
     if args.format == "prometheus":
         _emit(registry.render_prometheus(), args.out)

@@ -166,6 +166,11 @@ class StreamBuffer:
         self._dequeued = 0
         self._punctuation_enqueued = 0
         self._data_live = 0
+        #: Optional zero-argument consumer hook invoked after any mutation
+        #: (push / pop / drain / clear).  IWP operators install it to
+        #: invalidate their cached TSM-gate minimum instead of recomputing
+        #: ``min(gates)`` several times per execution step.
+        self.on_change: Callable[[], None] | None = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -246,6 +251,8 @@ class StreamBuffer:
             self._data_live += 1
         if self._registry is not None:
             self._registry._delta(1)
+        if self.on_change is not None:
+            self.on_change()
 
     def push_batch(self, elements: Sequence[StreamElement]) -> None:
         """Append a run of ``elements`` at the tail in one operation.
@@ -276,6 +283,8 @@ class StreamBuffer:
         self._data_live += n - punct
         if self._registry is not None:
             self._registry._delta(n)
+        if self.on_change is not None:
+            self.on_change()
 
     def drain_batch(self, limit: int,
                     max_ts: float | None = None) -> list[StreamElement]:
@@ -314,6 +323,8 @@ class StreamBuffer:
             self._data_live -= n
             if self._registry is not None:
                 self._registry._delta(-n)
+            if self.on_change is not None:
+                self.on_change()
         return out
 
     def peek(self) -> StreamElement | None:
@@ -340,6 +351,8 @@ class StreamBuffer:
             self._data_live -= 1
         if self._registry is not None:
             self._registry._delta(-1)
+        if self.on_change is not None:
+            self.on_change()
         return head
 
     def clear(self) -> None:
@@ -348,6 +361,8 @@ class StreamBuffer:
             self._registry._delta(-len(self._items))
         self._items.clear()
         self._data_live = 0
+        if self.on_change is not None:
+            self.on_change()
 
     # ------------------------------------------------------------------ #
     # Timestamp gating helpers

@@ -48,7 +48,11 @@ class EngineStats:
         steps: Operator execution steps performed.
         data_steps / punct_steps: Steps that consumed a data tuple vs a
             punctuation tuple.
-        probes: Window tuples examined across all joins.
+        probes: Window tuples examined across all joins (bucket-sized under
+            indexed equality joins, window-sized under scan joins).
+        probes_emitted: Examined candidates that passed the join condition
+            and produced an output tuple.  The examined-vs-emitted gap is
+            the wasted probe work a hash index removes.
         ets_offers: Times a stalled source consulted the ETS policy.
         ets_injected: Times the policy actually injected a punctuation.
         busy_time: Simulated CPU seconds consumed by operator steps.
@@ -66,6 +70,7 @@ class EngineStats:
     data_steps: int = 0
     punct_steps: int = 0
     probes: int = 0
+    probes_emitted: int = 0
     ets_offers: int = 0
     ets_injected: int = 0
     busy_time: float = 0.0
@@ -329,9 +334,14 @@ class ExecutionEngine:
 
     @staticmethod
     def _forward_target(op: Operator) -> Operator | None:
-        """Forward rule: the successor consuming a nonempty output buffer."""
-        for buf, succ in zip(op.outputs, op.successors):
-            if buf and succ is not None:
+        """Forward rule: the successor consuming a nonempty output buffer.
+
+        Iterates the operator's precomputed ``forward_pairs`` table (arcs
+        with a live consumer, maintained at wiring time) instead of
+        re-zipping and re-filtering the edge lists on every NOS decision.
+        """
+        for buf, succ in op.forward_pairs:
+            if buf:
                 return succ
         return None
 
@@ -344,6 +354,7 @@ class ExecutionEngine:
         elif result.consumed is not None:
             stats.data_steps += 1
         stats.probes += result.probes
+        stats.probes_emitted += result.probes_emitted
         stats.emitted_data += result.emitted_data
         stats.emitted_punctuation += result.emitted_punctuation
         per_op = stats.per_operator_steps
@@ -359,7 +370,8 @@ class ExecutionEngine:
                 operator=op.name, round_id=self._round_id,
                 time=self.clock.now(),
                 kind="punct" if result.consumed_punctuation else "data",
-                probes=result.probes, emitted_data=result.emitted_data,
+                probes=result.probes, probes_emitted=result.probes_emitted,
+                emitted_data=result.emitted_data,
                 emitted_punctuation=result.emitted_punctuation,
                 duration=cost)
         self._refresh_idle()
@@ -378,6 +390,7 @@ class ExecutionEngine:
         stats.data_steps += batch.consumed_data
         stats.punct_steps += batch.consumed_punctuation
         stats.probes += batch.probes
+        stats.probes_emitted += batch.probes_emitted
         stats.emitted_data += batch.emitted_data
         stats.emitted_punctuation += batch.emitted_punctuation
         per_op = stats.per_operator_steps
@@ -392,7 +405,8 @@ class ExecutionEngine:
             self.bus.step(
                 operator=op.name, round_id=self._round_id,
                 time=self.clock.now(), kind="batch", steps=batch.steps,
-                probes=batch.probes, emitted_data=batch.emitted_data,
+                probes=batch.probes, probes_emitted=batch.probes_emitted,
+                emitted_data=batch.emitted_data,
                 emitted_punctuation=batch.emitted_punctuation,
                 duration=cost)
         self._refresh_idle()

@@ -49,6 +49,13 @@ class QueryGraph:
         self._operators: dict[str, Operator] = {}
         self._buffers: list[StreamBuffer] = []
         self._validated = False
+        #: Live-successor / live-predecessor lookup tables, keyed by
+        #: operator name and frozen by :meth:`validate`.  Graph traversals
+        #: (cycle check, components, topological order) read these instead
+        #: of re-filtering ``op.successors`` / ``op.predecessors`` on every
+        #: visit.
+        self._succ_table: dict[str, tuple[Operator, ...]] = {}
+        self._pred_table: dict[str, tuple[Operator, ...]] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -62,6 +69,8 @@ class QueryGraph:
             )
         self._operators[operator.name] = operator
         self._validated = False
+        self._succ_table.clear()
+        self._pred_table.clear()
         return operator
 
     def add_source(self, name: str,
@@ -106,6 +115,8 @@ class QueryGraph:
         consumer.attach_input(buf, producer)
         self._buffers.append(buf)
         self._validated = False
+        self._succ_table.clear()
+        self._pred_table.clear()
         return buf
 
     # ------------------------------------------------------------------ #
@@ -167,9 +178,36 @@ class QueryGraph:
                 raise GraphError(
                     f"operator {op.name!r} has no outputs and is not a sink"
                 )
+        self._rebuild_tables()
         self._check_acyclic()
         self._validated = True
         return self
+
+    def _rebuild_tables(self) -> None:
+        """Freeze the successor/predecessor lookup tables (and each
+        operator's Forward-rule ``forward_pairs``) from the current wiring."""
+        self._succ_table = {}
+        self._pred_table = {}
+        for name, op in self._operators.items():
+            op.rebuild_forward_pairs()
+            self._succ_table[name] = tuple(
+                s for s in op.successors if s is not None)
+            self._pred_table[name] = tuple(
+                p for p in op.predecessors if p is not None)
+
+    def live_successors(self, op: Operator) -> tuple[Operator, ...]:
+        """Non-None successors of ``op`` (precomputed after validation)."""
+        table = self._succ_table.get(op.name)
+        if table is None:
+            return tuple(s for s in op.successors if s is not None)
+        return table
+
+    def live_predecessors(self, op: Operator) -> tuple[Operator, ...]:
+        """Non-None predecessors of ``op`` (precomputed after validation)."""
+        table = self._pred_table.get(op.name)
+        if table is None:
+            return tuple(p for p in op.predecessors if p is not None)
+        return table
 
     @property
     def is_validated(self) -> bool:
@@ -181,7 +219,7 @@ class QueryGraph:
 
         def visit(op: Operator) -> None:
             color[op.name] = GREY
-            stack = [(op, iter([s for s in op.successors if s is not None]))]
+            stack = [(op, iter(self.live_successors(op)))]
             while stack:
                 node, successors = stack[-1]
                 advanced = False
@@ -194,10 +232,7 @@ class QueryGraph:
                         )
                     if c == WHITE:
                         color[succ.name] = GREY
-                        stack.append(
-                            (succ, iter([s for s in succ.successors
-                                         if s is not None]))
-                        )
+                        stack.append((succ, iter(self.live_successors(succ))))
                         advanced = True
                         break
                 if not advanced:
@@ -224,9 +259,8 @@ class QueryGraph:
                 parent[ra] = rb
 
         for op in self._operators.values():
-            for succ in op.successors:
-                if succ is not None:
-                    union(op.name, succ.name)
+            for succ in self.live_successors(op):
+                union(op.name, succ.name)
         groups: dict[str, list[Operator]] = {}
         for name, op in self._operators.items():
             groups.setdefault(find(name), []).append(op)
@@ -234,16 +268,14 @@ class QueryGraph:
 
     def topological_order(self) -> list[Operator]:
         """Operators in a producer-before-consumer order."""
-        indegree = {name: len([p for p in op.predecessors if p is not None])
+        indegree = {name: len(self.live_predecessors(op))
                     for name, op in self._operators.items()}
         ready = [op for name, op in self._operators.items() if not indegree[name]]
         order: list[Operator] = []
         while ready:
             op = ready.pop()
             order.append(op)
-            for succ in op.successors:
-                if succ is None:
-                    continue
+            for succ in self.live_successors(op):
                 indegree[succ.name] -= 1
                 if not indegree[succ.name]:
                     ready.append(succ)

@@ -60,13 +60,19 @@ class StepResult:
     Attributes:
         consumed: The element removed from an input buffer, or None when the
             step was a pure production (e.g. an aggregate flushing a window).
-        probes: Number of window tuples examined (join probe cost).
+        probes: Number of window tuples *examined* (join probe cost) —
+            bucket-sized under an indexed equality join, window-sized under
+            a scan join.
+        probes_emitted: The subset of examined candidates that passed the
+            join condition and produced an output tuple.  The
+            examined-vs-emitted gap is the work the hash index removes.
         emitted_data: Data tuples appended to output buffers.
         emitted_punctuation: Punctuation tuples appended to output buffers.
     """
 
     consumed: StreamElement | None = None
     probes: int = 0
+    probes_emitted: int = 0
     emitted_data: int = 0
     emitted_punctuation: int = 0
 
@@ -88,6 +94,8 @@ class BatchResult:
         consumed_data / consumed_punctuation: Elements removed from input
             buffers, by kind.
         probes: Window tuples examined across the whole run.
+        probes_emitted: Examined candidates that produced an output tuple
+            (see :attr:`StepResult.probes_emitted`).
         emitted_data / emitted_punctuation: Elements appended to output
             buffers (counted once per logical emission, as in StepResult).
     """
@@ -96,6 +104,7 @@ class BatchResult:
     consumed_data: int = 0
     consumed_punctuation: int = 0
     probes: int = 0
+    probes_emitted: int = 0
     emitted_data: int = 0
     emitted_punctuation: int = 0
 
@@ -107,6 +116,7 @@ class BatchResult:
         else:
             self.consumed_data += 1
         self.probes += result.probes
+        self.probes_emitted += result.probes_emitted
         self.emitted_data += result.emitted_data
         self.emitted_punctuation += result.emitted_punctuation
 
@@ -144,6 +154,10 @@ class Operator:
         self.predecessors: list["Operator | None"] = []
         #: Consumer operator per output index; wired by the query graph.
         self.successors: list["Operator | None"] = []
+        #: Precomputed (output buffer, consumer) arcs with a live consumer.
+        #: The engine's Forward rule walks this instead of re-zipping and
+        #: re-filtering ``outputs``/``successors`` on every NOS decision.
+        self.forward_pairs: tuple[tuple[StreamBuffer, "Operator"], ...] = ()
 
     # ------------------------------------------------------------------ #
     # Wiring (used by QueryGraph)
@@ -168,6 +182,20 @@ class Operator:
     def attach_output(self, buffer: StreamBuffer, consumer: "Operator | None") -> None:
         self._ports.outputs.append(buffer)
         self.successors.append(consumer)
+        self.rebuild_forward_pairs()
+
+    def rebuild_forward_pairs(self) -> None:
+        """Refresh the precomputed Forward-rule lookup table.
+
+        Called after every :meth:`attach_output` (and again by the query
+        graph's ``validate``), so the table is correct for hand-wired
+        operators in tests as well as graph-built ones.
+        """
+        self.forward_pairs = tuple(
+            (buf, succ)
+            for buf, succ in zip(self._ports.outputs, self.successors)
+            if succ is not None
+        )
 
     def validate_wiring(self) -> None:
         """Raise :class:`GraphError` unless the operator is fully wired."""

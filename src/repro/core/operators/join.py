@@ -28,9 +28,16 @@ from __future__ import annotations
 from collections.abc import Mapping
 from typing import Any, Callable
 
+from ..buffers import StreamBuffer
 from ..errors import ExecutionError
 from ..tuples import LATENT_TS, DataTuple, Punctuation
-from ..windows import CountWindow, TimeWindow, WindowSpec
+from ..windows import (
+    CountWindow,
+    IndexedCountWindow,
+    IndexedTimeWindow,
+    TimeWindow,
+    WindowSpec,
+)
 from .base import BatchResult, Operator, OpContext, StepResult
 
 __all__ = ["WindowJoin", "merge_payloads"]
@@ -60,7 +67,16 @@ def merge_payloads(left: Any, right: Any,
 
 
 class _EmptyWindow:
-    """Window stub for the unstored side of an asymmetric join."""
+    """Window stub for the unstored side of an asymmetric join.
+
+    Implements the *full* :class:`~repro.core.windows.WindowProtocol` —
+    including the indexed path's ``probe(key)`` — so a join may treat both
+    sides uniformly and neither execution path can diverge on a missing
+    attribute.  Every read yields the same answer an always-empty window
+    would give; every write is a no-op.
+    """
+
+    __slots__ = ()
 
     span = 0.0
 
@@ -77,6 +93,11 @@ class _EmptyWindow:
         return 0
 
     def matches(self, probe_ts: float):
+        """Same contract as the real windows: an iterator of candidates."""
+        return iter(())
+
+    def probe(self, key: Any):
+        """Indexed-path contract: the (empty) bucket for ``key``."""
         return iter(())
 
 
@@ -90,13 +111,24 @@ class WindowJoin(Operator):
             None, every window pair matches (cross product within windows).
         key: Convenience equi-join: a field name (or per-side pair of field
             names) compared for equality; composed with ``predicate`` if both
-            are given.
+            are given.  Keyed symmetric joins get the hash-indexed fast path
+            (see ``indexed``).
         window_left / window_right: Per-side specs overriding ``window``;
             pass None (with the other set) for an asymmetric join.
         combiner: Builds the output payload from the two matching payloads
             (left payload first, regardless of which side probed).
         strict: Use the original Fig.-1 gating (both inputs nonempty) instead
             of the relaxed TSM condition — for the X1 ablation.
+        indexed: Window-state layout.  None (default) auto-selects: keyed
+            symmetric non-strict joins store tuples in per-key hash buckets
+            and probe only the matching bucket (O(bucket) per probe);
+            everything else — non-equi predicates without a key, asymmetric
+            joins, and the strict X1 ablation — keeps the O(window) scan
+            layout, byte-identically to previous behaviour.  False forces
+            the scan layout for a keyed join (differential testing /
+            ablation); True demands the fast path and raises
+            :class:`ExecutionError` when the join is not eligible.
+            Indexed joins require hashable key values.
     """
 
     is_iwp = True
@@ -109,6 +141,7 @@ class WindowJoin(Operator):
                  window_right: WindowSpec | None = None,
                  combiner: Callable[[Any, Any], Any] = merge_payloads,
                  strict: bool = False,
+                 indexed: bool | None = None,
                  output_schema=None) -> None:
         super().__init__(name, output_schema=output_schema)
         if window is None and window_left is None and window_right is None:
@@ -117,13 +150,37 @@ class WindowJoin(Operator):
             )
         left_spec = window_left if window_left is not None else window
         right_spec = window_right if window_right is not None else window
-        self.windows: list[TimeWindow | CountWindow | _EmptyWindow] = [
-            left_spec.build() if left_spec is not None else _EmptyWindow(),
-            right_spec.build() if right_spec is not None else _EmptyWindow(),
-        ]
+        self.key = key
+        self.key_fields: tuple[str, str] | None = None
+        if key is not None:
+            self.key_fields = (key, key) if isinstance(key, str) else tuple(key)
+        #: The caller's raw predicate, applied per candidate on *both* paths
+        #: (the scan path composes it with the key check; the indexed path
+        #: replaces the key check with the bucket lookup).
+        self.base_predicate = predicate
+        eligible = (self.key_fields is not None and not strict
+                    and left_spec is not None and right_spec is not None)
+        if indexed is True and not eligible:
+            raise ExecutionError(
+                f"join {name!r}: indexed=True requires key columns, "
+                "windows on both sides, and non-strict gating"
+            )
+        self.indexed = eligible if indexed is None else bool(indexed and eligible)
+        if self.indexed:
+            left_key, right_key = self.key_fields
+            self.windows: list[TimeWindow | CountWindow | IndexedTimeWindow
+                               | IndexedCountWindow | _EmptyWindow] = [
+                left_spec.build(key_fn=lambda p: p[left_key]),
+                right_spec.build(key_fn=lambda p: p[right_key]),
+            ]
+        else:
+            self.windows = [
+                left_spec.build() if left_spec is not None else _EmptyWindow(),
+                right_spec.build() if right_spec is not None else _EmptyWindow(),
+            ]
         self.predicate = predicate
         if key is not None:
-            left_key, right_key = (key, key) if isinstance(key, str) else key
+            left_key, right_key = self.key_fields
             base = predicate
 
             def key_predicate(lp: Any, rp: Any) -> bool:
@@ -135,17 +192,44 @@ class WindowJoin(Operator):
         self.combiner = combiner
         self.strict = strict
         self._last_emitted_ts = LATENT_TS
+        self._gate_cache: tuple[list[float], float] | None = None
         self.matches_emitted = 0
         self.punctuation_consumed = 0
         self.punctuation_forwarded = 0
         self.punctuation_suppressed = 0
         self.tuples_processed = 0
 
+    def attach_input(self, buffer: StreamBuffer, producer) -> None:
+        super().attach_input(buffer, producer)
+        # Cached-τ invalidation: the TSM gate minimum changes only when an
+        # input buffer's head or register moves, and both only move through
+        # buffer mutations — so one hook per input replaces the repeated
+        # min-over-peeks in more()/stalled_input_index()/_select_index().
+        buffer.on_change = self._invalidate_gates
+
+    def _invalidate_gates(self) -> None:
+        self._gate_cache = None
+
     # ------------------------------------------------------------------ #
     # Gating (relaxed more condition of paper Fig. 5)
 
+    def _gates_tau(self) -> tuple[list[float], float]:
+        """The per-input TSM gates and their minimum τ, cached.
+
+        The cache is invalidated by the input buffers' ``on_change`` hooks,
+        so within one execution step (``more`` → ``_select_index`` →
+        punctuation handling) the gates are computed once instead of three
+        times, and an unchanged join re-polled by the engine costs one
+        tuple-unpack.
+        """
+        cache = self._gate_cache
+        if cache is None:
+            gates = [buf.gate_ts() for buf in self.inputs]
+            cache = self._gate_cache = (gates, min(gates))
+        return cache
+
     def _gates(self) -> list[float]:
-        return [buf.gate_ts() for buf in self.inputs]
+        return self._gates_tau()[0]
 
     def _latent_ready_index(self) -> int | None:
         for i, buf in enumerate(self.inputs):
@@ -159,8 +243,7 @@ class WindowJoin(Operator):
             return True
         if self.strict:
             return all(buf for buf in self.inputs)
-        gates = self._gates()
-        tau = min(gates)
+        gates, tau = self._gates_tau()
         if tau == LATENT_TS:
             return False
         return any(buf.head_ts() == tau for buf in self.inputs)
@@ -171,8 +254,7 @@ class WindowJoin(Operator):
                 if buf.is_empty:
                     return i
             return 0
-        gates = self._gates()
-        tau = min(gates)
+        gates, tau = self._gates_tau()
         for i, buf in enumerate(self.inputs):
             if buf.is_empty and gates[i] == tau:
                 return i
@@ -193,8 +275,7 @@ class WindowJoin(Operator):
         if self.strict:
             heads = [(buf.head_ts(), i) for i, buf in enumerate(self.inputs)]
             return min(heads)[1]
-        gates = self._gates()
-        tau = min(gates)
+        gates, tau = self._gates_tau()
         punct_idx: int | None = None
         for i, buf in enumerate(self.inputs):
             head = buf.peek()
@@ -229,16 +310,26 @@ class WindowJoin(Operator):
         # Expire against the probing tuple's timestamp (Kang et al. order:
         # probe happens against the still-valid window contents).
         other_window.expire(tup.ts)
+        if self.indexed:
+            # Equality fast path: the opposite window is key-partitioned, so
+            # only the matching bucket is examined.  Bucket membership *is*
+            # the key equality check, leaving just the caller's residual
+            # predicate per candidate.
+            candidates = other_window.probe(tup.payload[self.key_fields[idx]])
+            predicate = self.base_predicate
+        else:
+            candidates = other_window.matches(tup.ts)
+            predicate = self.predicate
         probes = 0
         emitted = 0
-        for candidate in other_window.matches(tup.ts):
+        for candidate in candidates:
             probes += 1
             left_payload, right_payload = (
                 (tup.payload, candidate.payload) if idx == 0
                 else (candidate.payload, tup.payload)
             )
-            if self.predicate is not None and not self.predicate(left_payload,
-                                                                 right_payload):
+            if predicate is not None and not predicate(left_payload,
+                                                       right_payload):
                 continue
             out = DataTuple(ts=tup.ts,
                             payload=self.combiner(left_payload, right_payload),
@@ -257,13 +348,14 @@ class WindowJoin(Operator):
             # "When we cannot generate a data tuple, we simply produce a
             # punctuation tuple for the benefit of the IWP operators down the
             # path" (paper Section 4.2).
-            tau = min(self._gates())
+            tau = self._gates_tau()[1]
             if tau > self._last_emitted_ts:
                 self.emit(Punctuation(ts=tau, origin=self.name))
                 self._last_emitted_ts = tau
                 self.punctuation_forwarded += 1
                 emitted_punct = 1
-        return StepResult(consumed=tup, probes=probes, emitted_data=emitted,
+        return StepResult(consumed=tup, probes=probes, probes_emitted=emitted,
+                          emitted_data=emitted,
                           emitted_punctuation=emitted_punct)
 
     def execute_batch(self, ctx: OpContext, limit: int) -> BatchResult:
@@ -287,8 +379,7 @@ class WindowJoin(Operator):
                 element = element.stamped(ctx.clock.now())
                 batch.add_step(self._handle_data(latent_idx, element))
                 continue
-            gates = self._gates()
-            tau = min(gates)
+            gates, tau = self._gates_tau()
             if tau == LATENT_TS:
                 break
             data_idx: int | None = None
@@ -330,7 +421,7 @@ class WindowJoin(Operator):
         self.punctuation_consumed += 1
         # Punctuation advances time on its input: shrink both windows to the
         # new safe horizon (memory benefit of ETS).
-        tau = punct.ts if self.strict else min(self._gates())
+        tau = punct.ts if self.strict else self._gates_tau()[1]
         for window in self.windows:
             window.expire(tau)
         if tau > self._last_emitted_ts:

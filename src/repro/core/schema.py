@@ -72,7 +72,7 @@ class Field:
             )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Schema:
     """An ordered collection of named fields describing one stream's records.
 

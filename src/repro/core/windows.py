@@ -6,25 +6,80 @@ recently consumed tuples; an arriving tuple on the other input probes the
 window, then the probing tuple is inserted into its own window and expired
 tuples are removed.
 
-Two window policies are provided:
+Four window policies are provided:
 
 * :class:`TimeWindow` — keep tuples whose timestamp is within ``span`` of the
   reference timestamp (time-based sliding window);
-* :class:`CountWindow` — keep the last ``size`` tuples (tuple-based window).
+* :class:`CountWindow` — keep the last ``size`` tuples (tuple-based window);
+* :class:`IndexedTimeWindow` / :class:`IndexedCountWindow` — the same
+  retention policies with the contents additionally hash-partitioned into
+  per-key buckets, so an equality join can probe one bucket instead of
+  scanning the whole window.
 
-Both expose the same small interface (`insert`, `expire`, iteration), so the
-join and aggregate operators are policy-agnostic.
+All expose the same small interface (`insert`, `expire`, `matches`,
+iteration), so the join and aggregate operators are policy-agnostic; the
+indexed variants add ``probe(key)``, the O(bucket) equality fast path.
+
+Amortized expiry of the indexed windows
+---------------------------------------
+
+Keeping every bucket eagerly trimmed would make ``expire(now)`` scan all
+buckets — O(distinct keys) per probe even when nothing expires.  Instead the
+index splits the work:
+
+* a **global** tuple log (insertion order == timestamp order) is trimmed
+  eagerly, so ``expire(now)`` stays O(dropped) and ``len``/iteration/the
+  Fig.-8 memory metric remain exact;
+* each **bucket** records shared-structure references and is purged
+  **lazily** against the global horizon the moment it is probed.  A tuple is
+  popped from its bucket exactly once, after it expired, so the lazy purges
+  are O(dropped) amortized across a run, and an unprobed bucket costs no
+  CPU at all.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterator
+from typing import Any, Callable, Iterable, Iterator, Protocol, runtime_checkable
 
 from .errors import ReproError
 from .tuples import DataTuple
 
-__all__ = ["WindowSpec", "TimeWindow", "CountWindow", "make_window"]
+__all__ = [
+    "WindowSpec",
+    "WindowProtocol",
+    "TimeWindow",
+    "CountWindow",
+    "IndexedTimeWindow",
+    "IndexedCountWindow",
+    "make_window",
+]
+
+#: Extracts the partition key from a tuple's payload (computed once, at
+#: insert).  Must return a hashable value for the indexed windows.
+KeyFn = Callable[[Any], Any]
+
+
+@runtime_checkable
+class WindowProtocol(Protocol):
+    """The full window contract the join operators program against.
+
+    Every window — including the :class:`~repro.core.operators.join` module's
+    empty-side stub — implements all of these; the indexed fast path and the
+    scan path may then be swapped freely without attribute errors.
+    """
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[DataTuple]: ...
+
+    def insert(self, tup: DataTuple) -> None: ...
+
+    def expire(self, now: float) -> int: ...
+
+    def matches(self, probe_ts: float) -> Iterator[DataTuple]: ...
+
+    def probe(self, key: Any) -> Iterable[DataTuple]: ...
 
 
 class WindowSpec:
@@ -56,8 +111,9 @@ class WindowSpec:
     def count(cls, size: int) -> "WindowSpec":
         return cls("count", size)
 
-    def build(self) -> "TimeWindow | CountWindow":
-        return make_window(self)
+    def build(self, key_fn: KeyFn | None = None) \
+            -> "TimeWindow | CountWindow | IndexedTimeWindow | IndexedCountWindow":
+        return make_window(self, key_fn)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"WindowSpec({self.mode!r}, {self.extent!r})"
@@ -114,6 +170,13 @@ class TimeWindow:
         """
         return iter(self._items)
 
+    def probe(self, key: Any) -> Iterable[DataTuple]:
+        """Key-indexed probing requires an indexed window."""
+        raise ReproError(
+            "TimeWindow is not key-indexed; build it with a key_fn "
+            "(IndexedTimeWindow) to probe by key"
+        )
+
 
 class CountWindow:
     """A tuple-count sliding window buffer holding the last ``size`` tuples."""
@@ -143,9 +206,195 @@ class CountWindow:
     def matches(self, probe_ts: float) -> Iterator[DataTuple]:
         return iter(self._items)
 
+    def probe(self, key: Any) -> Iterable[DataTuple]:
+        """Key-indexed probing requires an indexed window."""
+        raise ReproError(
+            "CountWindow is not key-indexed; build it with a key_fn "
+            "(IndexedCountWindow) to probe by key"
+        )
 
-def make_window(spec: WindowSpec) -> TimeWindow | CountWindow:
-    """Instantiate the window buffer described by ``spec``."""
+
+def _hash_key(key: Any, window: str) -> Any:
+    """Validate hashability once, with an actionable error on failure."""
+    try:
+        hash(key)
+    except TypeError:
+        raise ReproError(
+            f"{window}: join key {key!r} is unhashable — equality fast "
+            "paths need hashable key values; use predicate=... (scan path) "
+            "for unhashable keys"
+        ) from None
+    return key
+
+
+class IndexedTimeWindow:
+    """A time-based sliding window hash-partitioned into per-key buckets.
+
+    Retention is identical to :class:`TimeWindow` (``expire(now)`` drops
+    tuples with ``ts < now - span``); in addition every tuple is appended to
+    the bucket of its key (extracted once, at insert), so ``probe(key)``
+    touches only the tuples an equality join can match.
+
+    Expiry is split between an eager global log (O(dropped), keeps ``len``
+    and iteration exact) and lazy per-bucket purges against the global
+    horizon (see the module docstring for the amortization argument).
+    """
+
+    __slots__ = ("span", "key_fn", "_items", "_buckets", "_horizon")
+
+    def __init__(self, span: float, key_fn: KeyFn) -> None:
+        if span <= 0:
+            raise ReproError(f"time window span must be positive, got {span}")
+        self.span = span
+        self.key_fn = key_fn
+        self._items: deque[DataTuple] = deque()
+        self._buckets: dict[Any, deque[DataTuple]] = {}
+        self._horizon = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[DataTuple]:
+        return iter(self._items)
+
+    @property
+    def bucket_count(self) -> int:
+        """Live buckets (unpurged empties included) — introspection only."""
+        return len(self._buckets)
+
+    def insert(self, tup: DataTuple) -> None:
+        """Append ``tup``; tuples must arrive in timestamp order."""
+        items = self._items
+        if items and tup.ts < items[-1].ts:
+            raise ReproError(
+                f"window insert out of order: {tup.ts} after {items[-1].ts}"
+            )
+        items.append(tup)
+        key = _hash_key(self.key_fn(tup.payload), "IndexedTimeWindow")
+        if key == key:  # NaN keys never match anything (scan parity)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = deque()
+            bucket.append(tup)
+
+    def expire(self, now: float) -> int:
+        """Drop tuples with ``ts < now - span``; return how many were dropped.
+
+        Only the global log is trimmed here; buckets catch up lazily when
+        probed, against the horizon recorded now.
+        """
+        horizon = now - self.span
+        if horizon > self._horizon:
+            self._horizon = horizon
+        dropped = 0
+        items = self._items
+        while items and items[0].ts < horizon:
+            items.popleft()
+            dropped += 1
+        return dropped
+
+    def matches(self, probe_ts: float) -> Iterator[DataTuple]:
+        """Scan-compatible probing: every live tuple, in timestamp order."""
+        return iter(self._items)
+
+    def probe(self, key: Any) -> Iterable[DataTuple]:
+        """The tuples an equality join at ``key`` can match, oldest first.
+
+        Purges the bucket's expired head run first (lazy half of the
+        amortized expiry) and drops the bucket entirely once empty, so
+        stale keys do not accumulate dict entries.
+        """
+        if key != key:  # NaN: != everything, including itself, under scan
+            return ()
+        _hash_key(key, "IndexedTimeWindow")
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return ()
+        horizon = self._horizon
+        while bucket and bucket[0].ts < horizon:
+            bucket.popleft()
+        if not bucket:
+            del self._buckets[key]
+            return ()
+        return bucket
+
+
+class IndexedCountWindow:
+    """A last-``size``-tuples window hash-partitioned into per-key buckets.
+
+    Retention is identical to :class:`CountWindow`; buckets additionally
+    record each tuple's global insertion number so a probed bucket can
+    lazily discard entries that the global ring has already evicted.
+    """
+
+    __slots__ = ("size", "key_fn", "_items", "_buckets", "_inserted")
+
+    def __init__(self, size: int, key_fn: KeyFn) -> None:
+        if size <= 0:
+            raise ReproError(f"count window size must be positive, got {size}")
+        self.size = int(size)
+        self.key_fn = key_fn
+        self._items: deque[DataTuple] = deque(maxlen=self.size)
+        self._buckets: dict[Any, deque[tuple[int, DataTuple]]] = {}
+        self._inserted = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[DataTuple]:
+        return iter(self._items)
+
+    @property
+    def bucket_count(self) -> int:
+        """Live buckets (unpurged empties included) — introspection only."""
+        return len(self._buckets)
+
+    def insert(self, tup: DataTuple) -> None:
+        """Append ``tup``, evicting the globally oldest tuple when full."""
+        self._items.append(tup)
+        self._inserted += 1
+        key = _hash_key(self.key_fn(tup.payload), "IndexedCountWindow")
+        if key == key:  # NaN keys never match anything (scan parity)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = deque()
+            bucket.append((self._inserted, tup))
+
+    def expire(self, now: float) -> int:
+        """Count windows expire by insertion, so this is a no-op."""
+        return 0
+
+    def matches(self, probe_ts: float) -> Iterator[DataTuple]:
+        return iter(self._items)
+
+    def probe(self, key: Any) -> Iterable[DataTuple]:
+        """The tuples an equality join at ``key`` can match, oldest first."""
+        if key != key:  # NaN (see IndexedTimeWindow.probe)
+            return ()
+        _hash_key(key, "IndexedCountWindow")
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return ()
+        oldest_live = self._inserted - self.size  # insertion numbers > this
+        while bucket and bucket[0][0] <= oldest_live:
+            bucket.popleft()
+        if not bucket:
+            del self._buckets[key]
+            return ()
+        return (tup for _, tup in bucket)
+
+
+def make_window(spec: WindowSpec, key_fn: KeyFn | None = None) \
+        -> TimeWindow | CountWindow | IndexedTimeWindow | IndexedCountWindow:
+    """Instantiate the window buffer described by ``spec``.
+
+    With ``key_fn`` the hash-indexed variant is built; without it, the
+    plain scan window.
+    """
     if spec.mode == "time":
+        if key_fn is not None:
+            return IndexedTimeWindow(spec.extent, key_fn)
         return TimeWindow(spec.extent)
+    if key_fn is not None:
+        return IndexedCountWindow(int(spec.extent), key_fn)
     return CountWindow(int(spec.extent))

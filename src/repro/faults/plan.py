@@ -49,7 +49,7 @@ __all__ = [
 _INF = float("inf")
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultStats:
     """Counters of every fault actually applied (not merely configured).
 

@@ -34,7 +34,8 @@ class TraceObserver(Observer):
         self.tracer = tracer
 
     def on_step(self, *, operator, round_id, time, kind, steps=1, probes=0,
-                emitted_data=0, emitted_punctuation=0, duration=0.0) -> None:
+                probes_emitted=0, emitted_data=0, emitted_punctuation=0,
+                duration=0.0) -> None:
         detail = f"batch:{steps}" if kind == "batch" else kind
         self.tracer.record("execute", operator, round_id, detail=detail)
 

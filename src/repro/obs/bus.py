@@ -73,9 +73,15 @@ class Observer:
 
     def on_step(self, *, operator: str, round_id: int, time: float,
                 kind: str, steps: int = 1, probes: int = 0,
+                probes_emitted: int = 0,
                 emitted_data: int = 0, emitted_punctuation: int = 0,
                 duration: float = 0.0) -> None:
-        """One execution step (or batched run of steps) completed."""
+        """One execution step (or batched run of steps) completed.
+
+        ``probes`` counts window tuples *examined*; ``probes_emitted`` the
+        subset that passed the join condition — the gap between the two is
+        the wasted scan work an indexed join removes.
+        """
 
     def on_nos_decision(self, *, decision: str, operator: str,
                         round_id: int, time: float, detail: str = "") -> None:

@@ -142,12 +142,14 @@ class ChromeTraceExporter(Observer):
         })
 
     def on_step(self, *, operator, round_id, time, kind, steps=1, probes=0,
-                emitted_data=0, emitted_punctuation=0, duration=0.0) -> None:
+                probes_emitted=0, emitted_data=0, emitted_punctuation=0,
+                duration=0.0) -> None:
         self.events.append({
             "name": operator, "cat": f"step:{kind}", "ph": "X",
             "ts": (time - duration) * _US, "dur": duration * _US,
             "pid": self.PID, "tid": self.TID_ENGINE,
             "args": {"round": round_id, "steps": steps, "probes": probes,
+                     "probes_emitted": probes_emitted,
                      "emitted_data": emitted_data,
                      "emitted_punctuation": emitted_punctuation},
         })

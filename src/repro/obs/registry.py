@@ -224,6 +224,9 @@ class MetricsRegistry(Observer):
                               track_max=True)
         self.batch_run_length = h("repro_batch_run_length",
                                   "Elements consumed per execution step")
+        self.join_probes = c(
+            "repro_join_probes_total",
+            "Join-window candidates, examined vs emitted (result label)")
         self.busy_time = c("repro_engine_busy_seconds_total",
                            "Simulated CPU seconds charged to steps")
         # Absorbed end-of-run aggregates.
@@ -278,9 +281,16 @@ class MetricsRegistry(Observer):
         self.rounds.inc()
 
     def on_step(self, *, operator, round_id, time, kind, steps=1, probes=0,
-                emitted_data=0, emitted_punctuation=0, duration=0.0) -> None:
+                probes_emitted=0, emitted_data=0, emitted_punctuation=0,
+                duration=0.0) -> None:
         self.steps.inc(steps, kind=kind)
         self.operator_steps.inc(steps, operator=operator)
+        # Only join steps report probes; skip the labels entirely for
+        # joinless runs so the counter does not appear with zero series.
+        if probes:
+            self.join_probes.inc(probes, result="examined")
+        if probes_emitted:
+            self.join_probes.inc(probes_emitted, result="emitted")
         if emitted_data:
             self.emitted.inc(emitted_data, kind="data")
         if emitted_punctuation:

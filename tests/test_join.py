@@ -4,10 +4,11 @@ import pytest
 
 from repro.core.errors import ExecutionError
 from repro.core.operators import WindowJoin, merge_payloads
+from repro.core.operators.join import _EmptyWindow
 from repro.core.tuples import LATENT_TS, DataTuple, TimestampKind
-from repro.core.windows import WindowSpec
+from repro.core.windows import IndexedTimeWindow, TimeWindow, WindowProtocol, WindowSpec
 
-from conftest import OpHarness
+from conftest import OpHarness, data
 
 
 def make_join(window: float = 10.0, **kwargs) -> tuple[WindowJoin, OpHarness]:
@@ -208,6 +209,89 @@ class TestLatentStamping:
         assert len(op.windows[0]) == 1
         stored = next(iter(op.windows[0]))
         assert stored.ts == 42.0
+
+
+class TestEmptyWindow:
+    def test_implements_the_full_window_protocol(self):
+        w = _EmptyWindow()
+        assert isinstance(w, WindowProtocol)
+        assert len(w) == 0 and list(w) == []
+        w.insert(data(1.0, {"a": 1}))        # writes are no-ops
+        assert len(w) == 0
+        assert w.expire(100.0) == 0
+        assert list(w.matches(5.0)) == []    # scan-path read
+        assert list(w.probe("k")) == []      # indexed-path read
+
+
+class TestIndexedFastPath:
+    def test_keyed_join_auto_selects_indexed_windows(self):
+        op, _ = make_join(key="k")
+        assert op.indexed
+        assert all(isinstance(w, IndexedTimeWindow) for w in op.windows)
+
+    def test_indexed_false_forces_scan_layout(self):
+        op, _ = make_join(key="k", indexed=False)
+        assert not op.indexed
+        assert all(isinstance(w, TimeWindow) for w in op.windows)
+
+    def test_unkeyed_strict_and_asymmetric_joins_stay_scan(self):
+        assert not make_join()[0].indexed
+        assert not make_join(key="k", strict=True)[0].indexed
+        asym = WindowJoin("j", window_left=WindowSpec.time(10.0),
+                          window_right=None, key="k")
+        assert not asym.indexed
+
+    def test_indexed_true_demands_eligibility(self):
+        with pytest.raises(ExecutionError):
+            make_join(indexed=True)                  # no key
+        with pytest.raises(ExecutionError):
+            make_join(key="k", strict=True, indexed=True)
+        op, _ = make_join(key="k", indexed=True)
+        assert op.indexed
+
+    def test_indexed_probes_only_the_matching_bucket(self):
+        """StepResult.probes counts examined candidates: bucket vs window."""
+        outputs = {}
+        for mode in (False, None):
+            op, h = make_join(key="k", indexed=mode)
+            for i in range(8):
+                h.feed(0, float(i), {"k": i % 4, "x": i})
+            h.feed(1, 8.0, {"k": 2, "y": "probe"})
+            h.run()
+            release(h)
+            outputs[mode] = [(t.ts, t.payload) for t in h.output_data()]
+            # scan examines all 8 stored tuples; indexed only bucket k=2
+            assert op.tuples_processed == 9
+        assert outputs[False] == outputs[None]
+
+    def test_probe_counts_differ_but_emissions_match(self):
+        scan_op, scan_h = make_join(key="k", indexed=False)
+        idx_op, idx_h = make_join(key="k")
+        for h in (scan_h, idx_h):
+            for i in range(8):
+                h.feed(0, float(i), {"k": i % 4})
+        scan_probes = []
+        idx_probes = []
+        for h, probes in ((scan_h, scan_probes), (idx_h, idx_probes)):
+            h.feed(1, 8.0, {"k": 2})
+            h.feed_punctuation(0, 9.0)  # ungate the right-side probe
+            while h.op.more():
+                r = h.step()
+                if r.probes:
+                    probes.append((r.probes, r.probes_emitted))
+        assert scan_probes == [(8, 2)]  # whole window examined, 2 matched
+        assert idx_probes == [(2, 2)]   # only the k=2 bucket examined
+
+    def test_residual_predicate_composes_with_key(self):
+        op, h = make_join(key="k", predicate=lambda a, b: a["v"] < b["v"])
+        assert op.indexed
+        h.feed(0, 1.0, {"k": 1, "v": 5})
+        h.feed(0, 2.0, {"k": 1, "v": 9})
+        h.feed(1, 3.0, {"k": 1, "v": 7})
+        h.run()
+        release(h)
+        out = h.output_data()
+        assert len(out) == 1 and out[0].payload["l_v"] == 5
 
 
 class TestAsymmetricJoin:

@@ -1,11 +1,28 @@
-"""Unit tests for window buffers (time- and count-based)."""
+"""Unit tests for window buffers (time- and count-based, scan and indexed)."""
 
 import pytest
 
 from repro.core.errors import ReproError
-from repro.core.windows import CountWindow, TimeWindow, WindowSpec, make_window
+from repro.core.windows import (
+    CountWindow,
+    IndexedCountWindow,
+    IndexedTimeWindow,
+    TimeWindow,
+    WindowProtocol,
+    WindowSpec,
+    make_window,
+)
 
 from conftest import data
+
+
+def by_k(payload):
+    return payload["k"]
+
+
+def kd(ts: float, k):
+    """A data tuple carrying join key ``k``."""
+    return data(ts, {"k": k})
 
 
 class TestWindowSpec:
@@ -35,6 +52,19 @@ class TestWindowSpec:
     def test_make_window(self):
         assert isinstance(make_window(WindowSpec.time(1.0)), TimeWindow)
         assert isinstance(make_window(WindowSpec.count(1)), CountWindow)
+
+    def test_make_window_with_key_fn_builds_indexed(self):
+        assert isinstance(make_window(WindowSpec.time(1.0), by_k),
+                          IndexedTimeWindow)
+        assert isinstance(make_window(WindowSpec.count(1), by_k),
+                          IndexedCountWindow)
+        assert isinstance(WindowSpec.time(1.0).build(key_fn=by_k),
+                          IndexedTimeWindow)
+
+    def test_every_window_satisfies_the_protocol(self):
+        for w in (TimeWindow(1.0), CountWindow(1),
+                  IndexedTimeWindow(1.0, by_k), IndexedCountWindow(1, by_k)):
+            assert isinstance(w, WindowProtocol)
 
 
 class TestTimeWindow:
@@ -77,6 +107,16 @@ class TestTimeWindow:
             TimeWindow(0.0)
 
 
+class TestScanWindowsRejectProbe:
+    def test_time_window_probe_raises(self):
+        with pytest.raises(ReproError):
+            TimeWindow(1.0).probe(1)
+
+    def test_count_window_probe_raises(self):
+        with pytest.raises(ReproError):
+            CountWindow(1).probe(1)
+
+
 class TestCountWindow:
     def test_eviction_at_capacity(self):
         w = CountWindow(3)
@@ -93,3 +133,107 @@ class TestCountWindow:
     def test_invalid_size(self):
         with pytest.raises(ReproError):
             CountWindow(0)
+
+
+class TestIndexedTimeWindow:
+    def test_retention_matches_scan_window(self):
+        """len/iter/expire behave exactly like TimeWindow on the same feed."""
+        scan, indexed = TimeWindow(10.0), IndexedTimeWindow(10.0, by_k)
+        for ts, k in ((0.0, 1), (5.0, 2), (9.0, 1), (15.0, 2)):
+            scan.insert(kd(ts, k))
+            indexed.insert(kd(ts, k))
+        assert [t.ts for t in indexed] == [t.ts for t in scan]
+        assert indexed.expire(16.0) == scan.expire(16.0) == 2
+        assert [t.ts for t in indexed] == [t.ts for t in scan] == [9.0, 15.0]
+
+    def test_probe_returns_only_matching_bucket_oldest_first(self):
+        w = IndexedTimeWindow(10.0, by_k)
+        for ts, k in ((1.0, "a"), (2.0, "b"), (3.0, "a")):
+            w.insert(kd(ts, k))
+        assert [t.ts for t in w.probe("a")] == [1.0, 3.0]
+        assert [t.ts for t in w.probe("b")] == [2.0]
+        assert list(w.probe("missing")) == []
+
+    def test_probe_purges_lazily_against_expire_horizon(self):
+        w = IndexedTimeWindow(10.0, by_k)
+        for ts in (0.0, 5.0, 12.0):
+            w.insert(kd(ts, "a"))
+        w.expire(16.0)  # horizon 6.0: global log drops 0.0 and 5.0 eagerly
+        assert len(w) == 1
+        assert [t.ts for t in w.probe("a")] == [12.0]
+
+    def test_probe_drops_fully_expired_buckets(self):
+        w = IndexedTimeWindow(10.0, by_k)
+        w.insert(kd(0.0, "stale"))
+        w.insert(kd(1.0, "live"))
+        w.expire(50.0)
+        assert w.bucket_count == 2  # lazily retained until probed
+        assert list(w.probe("stale")) == []
+        assert w.bucket_count == 1
+
+    def test_out_of_order_insert_rejected(self):
+        w = IndexedTimeWindow(10.0, by_k)
+        w.insert(kd(5.0, 1))
+        with pytest.raises(ReproError):
+            w.insert(kd(4.0, 1))
+
+    def test_nan_key_never_matches(self):
+        """Scan parity: NaN != NaN, so NaN-keyed tuples join with nothing."""
+        nan = float("nan")
+        w = IndexedTimeWindow(10.0, by_k)
+        w.insert(kd(1.0, nan))
+        assert list(w.probe(nan)) == []
+        assert len(w) == 1  # still retained (and counted) by the window
+
+    def test_unhashable_key_is_an_actionable_error(self):
+        w = IndexedTimeWindow(10.0, by_k)
+        with pytest.raises(ReproError, match="unhashable"):
+            w.insert(kd(1.0, [1, 2]))
+        with pytest.raises(ReproError, match="unhashable"):
+            w.probe([1, 2])
+
+    def test_invalid_span(self):
+        with pytest.raises(ReproError):
+            IndexedTimeWindow(0.0, by_k)
+
+
+class TestIndexedCountWindow:
+    def test_retention_matches_scan_window(self):
+        scan, indexed = CountWindow(3), IndexedCountWindow(3, by_k)
+        for ts in range(5):
+            scan.insert(kd(float(ts), ts % 2))
+            indexed.insert(kd(float(ts), ts % 2))
+        assert [t.ts for t in indexed] == [t.ts for t in scan] == [2.0, 3.0, 4.0]
+        assert indexed.expire(100.0) == 0
+
+    def test_probe_skips_globally_evicted_entries(self):
+        w = IndexedCountWindow(2, by_k)
+        w.insert(kd(1.0, "a"))
+        w.insert(kd(2.0, "b"))
+        w.insert(kd(3.0, "b"))  # evicts a@1.0 from the global ring
+        assert list(w.probe("a")) == []
+        assert [t.ts for t in w.probe("b")] == [2.0, 3.0]
+
+    def test_probe_drops_fully_evicted_buckets(self):
+        w = IndexedCountWindow(1, by_k)
+        w.insert(kd(1.0, "a"))
+        w.insert(kd(2.0, "b"))
+        assert w.bucket_count == 2
+        assert list(w.probe("a")) == []
+        assert w.bucket_count == 1
+
+    def test_nan_key_never_matches(self):
+        nan = float("nan")
+        w = IndexedCountWindow(3, by_k)
+        w.insert(kd(1.0, nan))
+        assert list(w.probe(nan)) == []
+        assert len(w) == 1
+
+    def test_unhashable_key_is_an_actionable_error(self):
+        w = IndexedCountWindow(3, by_k)
+        with pytest.raises(ReproError, match="unhashable"):
+            w.insert(kd(1.0, {}))
+
+    def test_invalid_size(self):
+        with pytest.raises(ReproError):
+            IndexedCountWindow(0, by_k)
