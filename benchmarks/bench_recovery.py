@@ -1,0 +1,92 @@
+"""Recovery bench: time-to-recover vs checkpoint interval (DESIGN.md §4f).
+
+The checkpoint interval trades run-time overhead against recovery work: a
+checkpoint every N engine rounds means at most ~N rounds of WAL suffix to
+replay after a crash.  This bench crashes the union-scenario run at a fixed
+instant under a sweep of intervals, recovers each, verifies the recovered
+output is byte-identical to the uncrashed run (the whole point — a fast
+recovery to the wrong state is worthless), and records wall-clock
+time-to-recover plus replay sizes into ``BENCH_recovery.json``.
+
+Expected shape: replayed WAL records (and with them recovery time) shrink
+as the interval tightens, while checkpoint count grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import CrashConfig, run_crash_experiment
+from repro.metrics.report import format_table
+
+from record import record_bench
+
+#: Engine rounds between checkpoints, swept from "none before the crash"
+#: (interval beyond the round count, whole-WAL replay) down to aggressive.
+INTERVALS = (10_000, 400, 100, 25)
+
+DURATION = 40.0
+CRASH_AT = 25.0
+RATE_FAST = 40.0
+RATE_SLOW = 0.5
+SEED = 42
+
+
+def _run(checkpoint_every: int):
+    config = CrashConfig(
+        duration=DURATION, rate_fast=RATE_FAST, rate_slow=RATE_SLOW,
+        seed=SEED, crash_at=CRASH_AT, checkpoint_every=checkpoint_every)
+    return run_crash_experiment(config)
+
+
+def test_time_to_recover_vs_checkpoint_interval():
+    rows = []
+    results = []
+    replayed_by_interval: dict[int, int] = {}
+    for interval in INTERVALS:
+        report = _run(interval)
+        assert report.identical, (
+            f"interval={interval}: recovered output diverged from the "
+            f"uncrashed run")
+        recovery = report.recovery
+        replayed_by_interval[interval] = recovery["replayed"]
+        rows.append([
+            interval,
+            report.checkpoints_written,
+            recovery["checkpoint_number"],
+            recovery["wal_records"],
+            recovery["replayed"],
+            round(1e3 * recovery["duration"], 3),
+            recovery["total_suppressed"],
+        ])
+        results.append({
+            "checkpoint_every": interval,
+            "checkpoints_written": report.checkpoints_written,
+            "checkpoint_restored": recovery["checkpoint_number"],
+            "wal_records": recovery["wal_records"],
+            "replayed": recovery["replayed"],
+            "recovery_seconds": recovery["duration"],
+            "suppressed": recovery["total_suppressed"],
+            "pre_crash_delivered": report.pre_crash_delivered,
+            "post_recovery_delivered": report.post_recovery_delivered,
+            "reference_delivered": report.reference_delivered,
+        })
+
+    print()
+    print(format_table(
+        ["ckpt every", "ckpts written", "restored #", "WAL records",
+         "replayed", "recover (ms)", "suppressed"],
+        rows, title="time-to-recover vs checkpoint interval "
+                    f"(crash at t={CRASH_AT})"))
+
+    # Tighter checkpointing must strictly shrink the replayed suffix
+    # between the whole-WAL extreme and the tightest interval.
+    assert replayed_by_interval[INTERVALS[-1]] \
+        < replayed_by_interval[INTERVALS[0]], (
+            "aggressive checkpointing did not reduce WAL replay: "
+            f"{replayed_by_interval}")
+
+    record_bench(
+        "recovery", results,
+        workload={"duration_s": DURATION, "crash_at_s": CRASH_AT,
+                  "rate_fast_hz": RATE_FAST, "rate_slow_hz": RATE_SLOW,
+                  "seed": SEED},
+        intervals=list(INTERVALS))

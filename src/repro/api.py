@@ -86,6 +86,7 @@ from .core.errors import (
     InvariantViolation,
     PolicyError,
     QueryLanguageError,
+    RecoveryError,
     ReproError,
     SchemaError,
     TimestampError,
@@ -113,6 +114,7 @@ from .obs import (
 
 # --- metrics & reporting --------------------------------------------------- #
 from .metrics import (
+    CheckpointTracker,
     IdleTracker,
     LatencyRecorder,
     QueueSampler,
@@ -133,11 +135,23 @@ from .faults import (
     FaultSpec,
     InvariantMonitor,
     OutOfOrderBurst,
+    ProcessCrash,
     PunctuationDelay,
     PunctuationLoss,
     QuarantinePolicy,
+    SimulatedCrash,
     SourceOutage,
     StallDetector,
+)
+
+# --- recovery (checkpoint / WAL / crash-stop restore) ---------------------- #
+from .recovery import (
+    CheckpointInfo,
+    CheckpointStore,
+    CheckpointWriter,
+    RecoveryManager,
+    RecoveryReport,
+    WriteAheadLog,
 )
 
 # --- workloads ------------------------------------------------------------- #
@@ -164,6 +178,8 @@ from .experiments import (
     ChaosConfig,
     ChaosReport,
     ClaimResult,
+    CrashConfig,
+    CrashReport,
     DEFAULT_HEARTBEAT_RATES,
     ExperimentResult,
     SweepResult,
@@ -176,6 +192,7 @@ from .experiments import (
     idle_waiting_table,
     result_from_handles,
     run_chaos_experiment,
+    run_crash_experiment,
     run_join_experiment,
     run_sweep,
     run_union_experiment,
@@ -198,8 +215,8 @@ __all__ = [
     "TimestampKind", "default_generator_for", "is_data", "is_punctuation",
     # errors
     "ExecutionError", "GraphError", "InvariantViolation", "PolicyError",
-    "QueryLanguageError", "ReproError", "SchemaError", "TimestampError",
-    "WorkloadError",
+    "QueryLanguageError", "RecoveryError", "ReproError", "SchemaError",
+    "TimestampError", "WorkloadError",
     # execution & simulation
     "Arrival", "CostModel", "EngineStats", "EventQueue", "ExecutionEngine",
     "Simulation", "VirtualClock",
@@ -210,14 +227,17 @@ __all__ = [
     "Observer", "PrometheusExporter", "TraceEvent", "TraceObserver",
     "Tracer", "summarize",
     # metrics & reporting
-    "IdleTracker", "LatencyRecorder", "QueueSampler", "RecoveryTracker",
-    "format_profile", "format_series", "format_table",
+    "CheckpointTracker", "IdleTracker", "LatencyRecorder", "QueueSampler",
+    "RecoveryTracker", "format_profile", "format_series", "format_table",
     "profile_simulation", "queue_summary",
     # faults & degradation
     "ClockSkewSpike", "DropTuples", "DuplicateTuples", "FallbackHeartbeat",
     "FaultPlan", "FaultSpec", "InvariantMonitor", "OutOfOrderBurst",
-    "PunctuationDelay", "PunctuationLoss", "QuarantinePolicy",
-    "SourceOutage", "StallDetector",
+    "ProcessCrash", "PunctuationDelay", "PunctuationLoss",
+    "QuarantinePolicy", "SimulatedCrash", "SourceOutage", "StallDetector",
+    # recovery
+    "CheckpointInfo", "CheckpointStore", "CheckpointWriter",
+    "RecoveryManager", "RecoveryReport", "WriteAheadLog",
     # workloads
     "SCENARIOS", "ScenarioConfig", "ScenarioHandles",
     "build_join_scenario", "build_union_scenario", "bursty_arrivals",
@@ -226,10 +246,12 @@ __all__ = [
     "uniform_value_payloads", "with_external_timestamps",
     "with_out_of_order_timestamps",
     # experiments
-    "ChaosConfig", "ChaosReport", "ClaimResult", "DEFAULT_HEARTBEAT_RATES",
-    "ExperimentResult", "SweepResult", "figure7", "figure8",
+    "ChaosConfig", "ChaosReport", "ClaimResult", "CrashConfig",
+    "CrashReport", "DEFAULT_HEARTBEAT_RATES", "ExperimentResult",
+    "SweepResult", "figure7", "figure8",
     "format_claims", "format_figure7", "format_figure8",
     "format_idle_table", "idle_waiting_table", "result_from_handles",
-    "run_chaos_experiment", "run_join_experiment", "run_sweep",
-    "run_union_experiment", "run_validation", "validate_paper_claims",
+    "run_chaos_experiment", "run_crash_experiment", "run_join_experiment",
+    "run_sweep", "run_union_experiment", "run_validation",
+    "validate_paper_claims",
 ]

@@ -8,6 +8,7 @@ Examples::
     python -m repro idle --heartbeat-rate 100
     python -m repro trace --format chrome --out trace.json
     python -m repro metrics --format prometheus
+    python -m repro recover --crash-at 30 --checkpoint-every 50
     python -m repro run query.esl --until 60 --source fast:poisson:50 \\
         --source slow:poisson:0.05 --ets on-demand
 
@@ -144,6 +145,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="baseline: on-demand ETS without the fallback "
                             "ladder")
     chaos.add_argument("--batch-size", type=int, default=1)
+    chaos.add_argument("--crash-at", type=float, default=None,
+                       help="crash-stop the process at this instant and "
+                            "recover from durable state instead of running "
+                            "the outage plan (see 'repro recover')")
+    chaos.add_argument("--checkpoint-every", type=int, default=50,
+                       help="with --crash-at: checkpoint every N engine "
+                            "rounds")
+    chaos.add_argument("--state-dir", type=str, default=None,
+                       help="with --crash-at: checkpoint/WAL directory "
+                            "(default: a temp directory, removed after)")
+
+    recover = sub.add_parser(
+        "recover",
+        help="crash-stop + recovery demonstration: run the union scenario, "
+             "kill it mid-run, recover from checkpoint + WAL, and verify "
+             "the combined output is byte-identical to an uncrashed run")
+    recover.add_argument("--duration", type=float, default=60.0)
+    recover.add_argument("--crash-at", type=float, default=30.0,
+                         help="virtual-clock instant of the crash")
+    recover.add_argument("--checkpoint-every", type=int, default=50,
+                         help="checkpoint every N engine rounds")
+    recover.add_argument("--rate-fast", type=float, default=50.0)
+    recover.add_argument("--rate-slow", type=float, default=0.5)
+    recover.add_argument("--seed", type=int, default=42)
+    recover.add_argument("--batch-size", type=int, default=1)
+    recover.add_argument("--base-ets", choices=("on-demand", "none"),
+                         default="on-demand")
+    recover.add_argument("--state-dir", type=str, default=None,
+                         help="checkpoint/WAL directory (default: a temp "
+                              "directory, removed after)")
+    recover.add_argument("--corrupt-latest", action="store_true",
+                         help="corrupt the newest checkpoint before "
+                              "recovering, demonstrating the loud fallback")
+    recover.add_argument("--no-fsync", action="store_true",
+                         help="skip fsync on WAL appends (faster, less "
+                              "durable tail)")
 
     def _add_obs_scenario_args(p: argparse.ArgumentParser,
                                default_duration: float) -> None:
@@ -290,6 +327,15 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .api import ChaosConfig, run_chaos_experiment
 
+    if args.crash_at is not None:
+        return _run_crash(
+            duration=args.duration, crash_at=args.crash_at,
+            checkpoint_every=args.checkpoint_every,
+            rate_fast=args.rate_fast, rate_slow=args.rate_slow,
+            seed=args.seed, batch_size=args.batch_size,
+            base_ets=args.base_ets, state_dir=args.state_dir,
+            corrupt_latest=False, fsync=True)
+
     config = ChaosConfig(
         duration=args.duration, rate_fast=args.rate_fast,
         rate_slow=args.rate_slow, seed=args.seed, external=args.external,
@@ -311,6 +357,29 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"{config.outage_start + config.outage_duration:g}s) — "
               f"{ladder}"))
     return 0
+
+
+def _run_crash(**kwargs) -> int:
+    from .api import CrashConfig, run_crash_experiment
+
+    config = CrashConfig(**kwargs)
+    report = run_crash_experiment(config)
+    print(format_table(
+        ["metric", "value"], [list(r) for r in report.rows()],
+        title=f"crash-stop at t={config.crash_at:g}s, recovery, resume to "
+              f"t={config.duration:g}s (checkpoint every "
+              f"{config.checkpoint_every} rounds)"))
+    return 0 if report.identical else 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    return _run_crash(
+        duration=args.duration, crash_at=args.crash_at,
+        checkpoint_every=args.checkpoint_every,
+        rate_fast=args.rate_fast, rate_slow=args.rate_slow,
+        seed=args.seed, batch_size=args.batch_size, base_ets=args.base_ets,
+        state_dir=args.state_dir, corrupt_latest=args.corrupt_latest,
+        fsync=not args.no_fsync)
 
 
 def _obs_config(args: argparse.Namespace, observers: list) -> ScenarioConfig:
@@ -422,6 +491,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "dot": _cmd_dot,
         "validate": _cmd_validate,
         "chaos": _cmd_chaos,
+        "recover": _cmd_recover,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "run": _cmd_run,

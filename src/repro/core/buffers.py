@@ -59,6 +59,16 @@ class TSMRegister:
     def reset(self) -> None:
         self._value = LATENT_TS
 
+    def snapshot_state(self) -> dict:
+        """Versioned plain-data snapshot of the register (checkpointing)."""
+        return {"version": 1, "value": self._value}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise ValueError(f"unsupported TSMRegister state: {state!r}")
+        self._value = state["value"]
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"TSMRegister({self._value!r})"
 
@@ -169,8 +179,15 @@ class StreamBuffer:
         #: Optional zero-argument consumer hook invoked after any mutation
         #: (push / pop / drain / clear).  IWP operators install it to
         #: invalidate their cached TSM-gate minimum instead of recomputing
-        #: ``min(gates)`` several times per execution step.
+        #: ``min(gates)`` several times per execution step.  Exceptions the
+        #: hook raises are isolated (counted, remembered, never propagated)
+        #: so a faulty hook cannot abort a mutation that already happened —
+        #: the same policy the obs bus applies to observers.
         self.on_change: Callable[[], None] | None = None
+        #: Number of exceptions swallowed from :attr:`on_change` hooks.
+        self.hook_errors = 0
+        #: The most recent exception swallowed from an on_change hook.
+        self.last_hook_error: BaseException | None = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -218,6 +235,55 @@ class StreamBuffer:
         """Timestamp of the most recently pushed element (or LATENT_TS)."""
         return self._last_pushed_ts
 
+    def _notify_change(self) -> None:
+        """Invoke the on_change hook, isolating any exception it raises.
+
+        The mutation that triggered the notification has already completed;
+        letting a hook exception unwind here would leave callers believing
+        the mutation failed (and, for IWP consumers, leave the cached
+        gate-min stale because later — successful — notifications would be
+        skipped).  Errors are counted and remembered instead.
+        """
+        if self.on_change is None:
+            return
+        try:
+            self.on_change()
+        except Exception as exc:
+            self.hook_errors += 1
+            self.last_hook_error = exc
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of buffer contents, register, and counters."""
+        return {
+            "version": 1,
+            "items": list(self._items),
+            "register": self.register.snapshot_state(),
+            "last_pushed_ts": self._last_pushed_ts,
+            "enqueued": self._enqueued,
+            "dequeued": self._dequeued,
+            "punctuation_enqueued": self._punctuation_enqueued,
+            "data_live": self._data_live,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot; registry occupancy is kept consistent."""
+        if state.get("version") != 1:
+            raise ValueError(f"unsupported StreamBuffer state: {state!r}")
+        delta = len(state["items"]) - len(self._items)
+        self._items = deque(state["items"])
+        self.register.restore_state(state["register"])
+        self._last_pushed_ts = state["last_pushed_ts"]
+        self._enqueued = state["enqueued"]
+        self._dequeued = state["dequeued"]
+        self._punctuation_enqueued = state["punctuation_enqueued"]
+        self._data_live = state["data_live"]
+        if self._registry is not None and delta:
+            self._registry._delta(delta)
+        self._notify_change()
+
     # ------------------------------------------------------------------ #
     # Production / consumption
 
@@ -251,8 +317,7 @@ class StreamBuffer:
             self._data_live += 1
         if self._registry is not None:
             self._registry._delta(1)
-        if self.on_change is not None:
-            self.on_change()
+        self._notify_change()
 
     def push_batch(self, elements: Sequence[StreamElement]) -> None:
         """Append a run of ``elements`` at the tail in one operation.
@@ -283,8 +348,7 @@ class StreamBuffer:
         self._data_live += n - punct
         if self._registry is not None:
             self._registry._delta(n)
-        if self.on_change is not None:
-            self.on_change()
+        self._notify_change()
 
     def drain_batch(self, limit: int,
                     max_ts: float | None = None) -> list[StreamElement]:
@@ -323,8 +387,7 @@ class StreamBuffer:
             self._data_live -= n
             if self._registry is not None:
                 self._registry._delta(-n)
-            if self.on_change is not None:
-                self.on_change()
+            self._notify_change()
         return out
 
     def peek(self) -> StreamElement | None:
@@ -351,8 +414,7 @@ class StreamBuffer:
             self._data_live -= 1
         if self._registry is not None:
             self._registry._delta(-1)
-        if self.on_change is not None:
-            self.on_change()
+        self._notify_change()
         return head
 
     def clear(self) -> None:
@@ -361,8 +423,7 @@ class StreamBuffer:
             self._registry._delta(-len(self._items))
         self._items.clear()
         self._data_live = 0
-        if self.on_change is not None:
-            self.on_change()
+        self._notify_change()
 
     # ------------------------------------------------------------------ #
     # Timestamp gating helpers

@@ -85,5 +85,14 @@ class WorkloadError(ReproError):
     """A workload/arrival-process specification is invalid."""
 
 
+class RecoveryError(ReproError):
+    """Checkpoint/WAL storage failed or no valid checkpoint could be loaded.
+
+    Individual corrupted checkpoints do *not* raise — recovery falls back to
+    older ones with a loud bus/fault event; this error means the fallback
+    chain itself was exhausted (or the recovery plumbing was misused).
+    """
+
+
 class QueryLanguageError(ReproError):
     """The mini continuous-query language failed to parse or compile."""

@@ -55,6 +55,17 @@ class EtsPolicy:
         return False
 
 
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot; the base policy carries no mutable state."""
+        return {"version": 1}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise PolicyError(
+                f"unsupported {type(self).__name__} state: {state!r}")
+
+
 class NoEts(EtsPolicy):
     """Scenario A (and the engine half of scenario B): never generate."""
 
@@ -97,6 +108,23 @@ class OnDemandEts(EtsPolicy):
                 source, external_delta=self.external_delta)
         self._resolved[source.name] = generator
         return generator
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of generation counters.
+
+        The generator-resolution cache is derived (rebuilt lazily from the
+        source's own statistics, which are checkpointed with the source), so
+        only the counters travel.
+        """
+        return {"version": 1, "generated": self.generated,
+                "declined": self.declined}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise PolicyError(f"unsupported OnDemandEts state: {state!r}")
+        self.generated = state["generated"]
+        self.declined = state["declined"]
 
     def on_source_stalled(self, source: SourceNode, now: float,
                           round_id: int) -> bool:
@@ -169,6 +197,16 @@ class PeriodicEtsSchedule:
     def applies_to(self, source: SourceNode) -> bool:
         return (source.name in self.rates
                 and source.timestamp_kind is not TimestampKind.LATENT)
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot; the fixed schedule is purely declarative."""
+        return {"version": 1}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise PolicyError(
+                f"unsupported {type(self).__name__} state: {state!r}")
 
 
 class AdaptiveHeartbeatSchedule(PeriodicEtsSchedule):
@@ -249,3 +287,23 @@ class AdaptiveHeartbeatSchedule(PeriodicEtsSchedule):
         rate = min(self.max_rate, max(self.min_rate, rate))
         self._current_rate[source.name] = rate
         return 1.0 / rate
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of the rate-estimation state.
+
+        The graph binding itself is wiring, not state; ``bind`` re-runs on
+        the rebuilt graph before injections resume.
+        """
+        return {
+            "version": 1,
+            "last_counts": dict(self._last_counts),
+            "current_rate": dict(self._current_rate),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise PolicyError(
+                f"unsupported AdaptiveHeartbeatSchedule state: {state!r}")
+        self._last_counts = dict(state["last_counts"])
+        self._current_rate = dict(state["current_rate"])

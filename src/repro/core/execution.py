@@ -92,6 +92,23 @@ class EngineStats:
         """
         return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
 
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of every counter (checkpointing)."""
+        state = self.as_dict()
+        state["per_operator_steps"] = dict(self.per_operator_steps)
+        state["version"] = 1
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise ExecutionError(f"unsupported EngineStats state: {state!r}")
+        for f in dataclass_fields(self):
+            if f.name == "per_operator_steps":
+                self.per_operator_steps = dict(state[f.name])
+            else:
+                setattr(self, f.name, state[f.name])
+
 
 class ExecutionEngine:
     """Single-threaded DFS executor for one query graph.
@@ -138,12 +155,17 @@ class ExecutionEngine:
                  batch_size: int = 1,
                  monitor=None,
                  observers: Iterable[Observer] | None = None,
-                 max_steps_per_round: int | None = None) -> None:
+                 max_steps_per_round: int | None = None,
+                 checkpoint_every: int | None = None) -> None:
         if not graph.is_validated:
             graph.validate()
         if batch_size < 1:
             raise ExecutionError(
                 f"batch_size must be >= 1, got {batch_size}"
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ExecutionError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
         self.graph = graph
         self.clock = clock
@@ -155,6 +177,12 @@ class ExecutionEngine:
         self.batch_size = batch_size
         self.monitor = monitor
         self.max_steps_per_round = max_steps_per_round
+        #: Checkpoint cadence in wake-up rounds; None disables.  The actual
+        #: writing is delegated to :attr:`checkpoint_hook` (installed by a
+        #: bound :class:`~repro.recovery.RecoveryManager`), keeping the
+        #: engine free of any storage dependency.
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_hook: Callable[[int], None] | None = None
         self.stats = EngineStats()
         self.ctx = OpContext(clock=clock)
         self._round_id = 0
@@ -252,6 +280,25 @@ class ExecutionEngine:
                 self.clock.now())
         if self.bus is not None:
             self.bus.quiesce(round_id=self._round_id, time=self.clock.now())
+        if (self.checkpoint_every is not None
+                and self.checkpoint_hook is not None
+                and self._round_id % self.checkpoint_every == 0):
+            self.checkpoint_hook(self._round_id)
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of engine progress (stats + round counter)."""
+        return {
+            "version": 1,
+            "round_id": self._round_id,
+            "stats": self.stats.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise ExecutionError(f"unsupported ExecutionEngine state: {state!r}")
+        self._round_id = state["round_id"]
+        self.stats.restore_state(state["stats"])
 
     def run_to_quiescence(self) -> None:
         """Alias for ``wakeup()`` with no entry hint (useful in tests)."""

@@ -234,6 +234,43 @@ class TumblingAggregate(Operator):
                                          self._align(ts))
         return emitted
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of the open window and its accumulator groups.
+
+        Aggregators are plain-attribute objects (their ``vars()`` *is* their
+        state); restore rebuilds each from its spec's factory and reapplies
+        the attributes, so user-defined aggregates round-trip too as long as
+        they keep their state in instance attributes.
+        """
+        return {
+            "version": 1,
+            "window_start": self._window_start,
+            "groups": {
+                repr(key): (key, {out: dict(vars(acc))
+                                  for out, acc in accumulators.items()})
+                for key, accumulators in self._groups.items()
+            },
+            "windows_emitted": self.windows_emitted,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise ExecutionError(
+                f"unsupported TumblingAggregate state: {state!r}")
+        self._window_start = state["window_start"]
+        self._groups = {}
+        for key, acc_states in state["groups"].values():
+            accumulators = self._fresh_accumulators()
+            for out, attrs in acc_states.items():
+                for attr, value in attrs.items():
+                    setattr(accumulators[out], attr, value)
+            self._groups[key] = accumulators
+        self.windows_emitted = state["windows_emitted"]
+
     def execute_step(self, ctx: OpContext) -> StepResult:
         element = self.inputs[0].pop()
         if element.is_punctuation:
@@ -285,6 +322,20 @@ class SlidingAggregate(Operator):
 
     def _expire_to(self, ts: float) -> None:
         self.window.expire(ts)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of the trailing window contents."""
+        return {"version": 1, "window": self.window.snapshot_state()}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise ExecutionError(
+                f"unsupported SlidingAggregate state: {state!r}")
+        self.window.restore_state(state["window"])
 
     def execute_step(self, ctx: OpContext) -> StepResult:
         element = self.inputs[0].pop()

@@ -266,6 +266,49 @@ class WindowJoin(Operator):
         return len(self.windows[0]) + len(self.windows[1])
 
     # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of both windows, the watermark, and counters.
+
+        An :class:`_EmptyWindow` side snapshots as None — it carries no
+        state, and the restored join rebuilds the same stub from its spec.
+        """
+        return {
+            "version": 1,
+            "windows": [
+                None if isinstance(win, _EmptyWindow) else win.snapshot_state()
+                for win in self.windows
+            ],
+            "last_emitted_ts": self._last_emitted_ts,
+            "matches_emitted": self.matches_emitted,
+            "punctuation_consumed": self.punctuation_consumed,
+            "punctuation_forwarded": self.punctuation_forwarded,
+            "punctuation_suppressed": self.punctuation_suppressed,
+            "tuples_processed": self.tuples_processed,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise ExecutionError(f"unsupported WindowJoin state: {state!r}")
+        for win, win_state in zip(self.windows, state["windows"]):
+            if win_state is None:
+                if not isinstance(win, _EmptyWindow):
+                    raise ExecutionError(
+                        f"join {self.name!r}: snapshot has no state for a "
+                        "stored window side (layout mismatch)")
+            else:
+                win.restore_state(win_state)
+        self._last_emitted_ts = state["last_emitted_ts"]
+        self._gate_cache = None
+        self.matches_emitted = state["matches_emitted"]
+        self.punctuation_consumed = state["punctuation_consumed"]
+        self.punctuation_forwarded = state["punctuation_forwarded"]
+        self.punctuation_suppressed = state["punctuation_suppressed"]
+        self.tuples_processed = state["tuples_processed"]
+
+    # ------------------------------------------------------------------ #
     # Execution (paper Fig. 6)
 
     def _select_index(self) -> int:

@@ -73,6 +73,34 @@ class Reorder(Operator):
         return len(self._heap)
 
     # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of the parked heap and watermarks.
+
+        Heap entries keep their ``(ts, seq, tuple)`` shape — sequence
+        numbers are the tie-breakers, and recovery bumps the global counter
+        past every restored seq so post-restore arrivals sort after them.
+        """
+        return {
+            "version": 1,
+            "heap": list(self._heap),
+            "max_seen": self._max_seen,
+            "emitted_watermark": self._emitted_watermark,
+            "late_dropped": self.late_dropped,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise ExecutionError(f"unsupported Reorder state: {state!r}")
+        self._heap = list(state["heap"])
+        heapq.heapify(self._heap)
+        self._max_seen = state["max_seen"]
+        self._emitted_watermark = state["emitted_watermark"]
+        self.late_dropped = state["late_dropped"]
+
+    # ------------------------------------------------------------------ #
 
     def _flush_to(self, threshold: float) -> int:
         """Emit every parked tuple with ts ≤ ``threshold``; returns count."""

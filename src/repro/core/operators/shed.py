@@ -64,6 +64,28 @@ class Shed(StatelessOperator):
         self.shed_count = 0
         self.passed_count = 0
 
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of RNG position and shed counters.
+
+        The RNG state travels so a recovered run draws the *same* random
+        sequence the uninterrupted run would have — shedding decisions are
+        part of the deterministic replay contract.
+        """
+        return {
+            "version": 1,
+            "rng_state": self._rng.getstate(),
+            "shed_count": self.shed_count,
+            "passed_count": self.passed_count,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise ExecutionError(f"unsupported Shed state: {state!r}")
+        self._rng.setstate(state["rng_state"])
+        self.shed_count = state["shed_count"]
+        self.passed_count = state["passed_count"]
+
     def _under_pressure(self) -> bool:
         if self.queue_threshold is None:
             return True

@@ -120,3 +120,35 @@ class SinkNode(Operator):
         if not self.latency_count:
             return float("nan")
         return self.latency_sum / self.latency_count
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of delivery counters and latency statistics.
+
+        ``delivered`` doubles as the sink's checkpoint-time high-water mark:
+        recovery compares it against the WAL-recorded delivery count to know
+        how many replayed outputs to suppress.  ``outputs_seen`` is retained
+        state too when ``keep_outputs`` is on.
+        """
+        return {
+            "version": 1,
+            "delivered": self.delivered,
+            "punctuation_eliminated": self.punctuation_eliminated,
+            "latency_sum": self.latency_sum,
+            "latency_max": self.latency_max,
+            "latency_count": self.latency_count,
+            "outputs_seen": list(self.outputs_seen) if self.keep_outputs else [],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise ValueError(f"unsupported SinkNode state: {state!r}")
+        self.delivered = state["delivered"]
+        self.punctuation_eliminated = state["punctuation_eliminated"]
+        self.latency_sum = state["latency_sum"]
+        self.latency_max = state["latency_max"]
+        self.latency_count = state["latency_count"]
+        self.outputs_seen = list(state["outputs_seen"])

@@ -220,6 +220,32 @@ class SourceNode(Operator):
         return True
 
     # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of the stream frontier and counters."""
+        return {
+            "version": 1,
+            "last_data_ts": self.last_data_ts,
+            "last_arrival_wall": self.last_arrival_wall,
+            "watermark": self.watermark,
+            "ingested_count": self.ingested_count,
+            "punctuation_injected": self.punctuation_injected,
+            "last_ets_round": self.last_ets_round,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise TimestampError(f"unsupported SourceNode state: {state!r}")
+        self.last_data_ts = state["last_data_ts"]
+        self.last_arrival_wall = state["last_arrival_wall"]
+        self.watermark = state["watermark"]
+        self.ingested_count = state["ingested_count"]
+        self.punctuation_injected = state["punctuation_injected"]
+        self.last_ets_round = state["last_ets_round"]
+
+    # ------------------------------------------------------------------ #
     # Operator contract (sources never execute)
 
     def more(self) -> bool:

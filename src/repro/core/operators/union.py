@@ -46,6 +46,27 @@ class Union(Operator):
         self.punctuation_forwarded = 0
         self.punctuation_suppressed = 0
 
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of emission watermark and counters."""
+        return {
+            "version": 1,
+            "last_emitted_ts": self._last_emitted_ts,
+            "data_forwarded": self.data_forwarded,
+            "punctuation_consumed": self.punctuation_consumed,
+            "punctuation_forwarded": self.punctuation_forwarded,
+            "punctuation_suppressed": self.punctuation_suppressed,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise ExecutionError(f"unsupported Union state: {state!r}")
+        self._last_emitted_ts = state["last_emitted_ts"]
+        self.data_forwarded = state["data_forwarded"]
+        self.punctuation_consumed = state["punctuation_consumed"]
+        self.punctuation_forwarded = state["punctuation_forwarded"]
+        self.punctuation_suppressed = state["punctuation_suppressed"]
+
     def validate_wiring(self) -> None:
         super().validate_wiring()
         if len(self.inputs) < 2:

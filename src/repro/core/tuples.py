@@ -30,12 +30,29 @@ __all__ = [
     "Punctuation",
     "is_data",
     "is_punctuation",
+    "ensure_seq_above",
 ]
 
 #: Sentinel timestamp for tuples that have not been stamped yet.
 LATENT_TS = float("-inf")
 
 _SEQ = itertools.count()
+
+
+def ensure_seq_above(seq: int) -> None:
+    """Advance the global sequence counter past ``seq``.
+
+    Recovery restores stream elements with their original sequence numbers;
+    elements created after a restore must sort *after* every restored one so
+    tie-breaking (reorder heaps, event queues) matches the uninterrupted run.
+    Idempotent: a counter already past ``seq`` is left alone.
+    """
+    global _SEQ
+    probe = next(_SEQ)
+    if probe > seq:
+        _SEQ = itertools.chain([probe], _SEQ)  # put the probe back
+    else:
+        _SEQ = itertools.count(seq + 1)
 
 
 class TimestampKind(enum.Enum):

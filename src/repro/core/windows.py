@@ -177,6 +177,16 @@ class TimeWindow:
             "(IndexedTimeWindow) to probe by key"
         )
 
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of window contents (checkpointing)."""
+        return {"version": 1, "items": list(self._items)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise ReproError(f"unsupported TimeWindow state: {state!r}")
+        self._items = deque(state["items"])
+
 
 class CountWindow:
     """A tuple-count sliding window buffer holding the last ``size`` tuples."""
@@ -212,6 +222,16 @@ class CountWindow:
             "CountWindow is not key-indexed; build it with a key_fn "
             "(IndexedCountWindow) to probe by key"
         )
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot of window contents (checkpointing)."""
+        return {"version": 1, "items": list(self._items)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state.get("version") != 1:
+            raise ReproError(f"unsupported CountWindow state: {state!r}")
+        self._items = deque(state["items"], maxlen=self.size)
 
 
 def _hash_key(key: Any, window: str) -> Any:
@@ -318,6 +338,31 @@ class IndexedTimeWindow:
             return ()
         return bucket
 
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot: only the global log travels.
+
+        Buckets are derived state (key_fn over the log) and may hold
+        lazily-unpurged expired tuples; they are reconstructed from the
+        global log on restore, which also sheds that dead weight.
+        """
+        return {"version": 1, "items": list(self._items),
+                "horizon": self._horizon}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the global log and rebuild per-key buckets from it."""
+        if state.get("version") != 1:
+            raise ReproError(f"unsupported IndexedTimeWindow state: {state!r}")
+        self._items = deque(state["items"])
+        self._horizon = state["horizon"]
+        self._buckets = {}
+        for tup in self._items:
+            key = _hash_key(self.key_fn(tup.payload), "IndexedTimeWindow")
+            if key == key:  # NaN keys never match anything (scan parity)
+                bucket = self._buckets.get(key)
+                if bucket is None:
+                    bucket = self._buckets[key] = deque()
+                bucket.append(tup)
+
 
 class IndexedCountWindow:
     """A last-``size``-tuples window hash-partitioned into per-key buckets.
@@ -382,6 +427,34 @@ class IndexedCountWindow:
             del self._buckets[key]
             return ()
         return (tup for _, tup in bucket)
+
+    def snapshot_state(self) -> dict:
+        """Versioned snapshot: only the global ring travels (see
+        :meth:`IndexedTimeWindow.snapshot_state`)."""
+        return {"version": 1, "items": list(self._items),
+                "inserted": self._inserted}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the global ring and rebuild per-key buckets from it.
+
+        Bucket entries carry global insertion numbers; only the last
+        ``len(items)`` insertions are live, so position ``i`` in the
+        restored ring was insertion ``inserted - len(items) + i + 1``.
+        """
+        if state.get("version") != 1:
+            raise ReproError(f"unsupported IndexedCountWindow state: {state!r}")
+        items = state["items"]
+        self._items = deque(items, maxlen=self.size)
+        self._inserted = state["inserted"]
+        self._buckets = {}
+        base = self._inserted - len(items)
+        for i, tup in enumerate(items):
+            key = _hash_key(self.key_fn(tup.payload), "IndexedCountWindow")
+            if key == key:  # NaN keys never match anything (scan parity)
+                bucket = self._buckets.get(key)
+                if bucket is None:
+                    bucket = self._buckets[key] = deque()
+                bucket.append((base + i + 1, tup))
 
 
 def make_window(spec: WindowSpec, key_fn: KeyFn | None = None) \

@@ -1,6 +1,7 @@
 """Experiment harness: scenario runner, figures, and chaos experiments."""
 
 from .chaos import ChaosConfig, ChaosReport, run_chaos_experiment
+from .crash import CrashConfig, CrashReport, run_crash_experiment
 from .figures import (
     DEFAULT_HEARTBEAT_RATES,
     SweepResult,
@@ -29,6 +30,8 @@ __all__ = [
     "ChaosConfig",
     "ChaosReport",
     "ClaimResult",
+    "CrashConfig",
+    "CrashReport",
     "DEFAULT_HEARTBEAT_RATES",
     "ExperimentResult",
     "SweepResult",
@@ -40,6 +43,7 @@ __all__ = [
     "idle_waiting_table",
     "result_from_handles",
     "run_chaos_experiment",
+    "run_crash_experiment",
     "run_join_experiment",
     "run_sweep",
     "run_union_experiment",

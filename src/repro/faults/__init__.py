@@ -25,8 +25,10 @@ from .plan import (
     FaultSpec,
     FaultStats,
     OutOfOrderBurst,
+    ProcessCrash,
     PunctuationDelay,
     PunctuationLoss,
+    SimulatedCrash,
     SourceOutage,
 )
 
@@ -40,9 +42,11 @@ __all__ = [
     "FaultStats",
     "InvariantMonitor",
     "OutOfOrderBurst",
+    "ProcessCrash",
     "PunctuationDelay",
     "PunctuationLoss",
     "QuarantinePolicy",
+    "SimulatedCrash",
     "SourceOutage",
     "StallDetector",
 ]

@@ -41,10 +41,31 @@ __all__ = [
     "FaultSpec",
     "FaultStats",
     "OutOfOrderBurst",
+    "ProcessCrash",
     "PunctuationDelay",
     "PunctuationLoss",
+    "SimulatedCrash",
     "SourceOutage",
 ]
+
+
+class SimulatedCrash(Exception):
+    """The whole DSMS process 'died' (raised by :class:`ProcessCrash`).
+
+    Deliberately *not* a :class:`~repro.core.errors.ReproError`: a crash is
+    not an engine condition to be handled in-stream but the harness's signal
+    to abandon the process image and recover from durable state
+    (:mod:`repro.recovery`).  Catch it at the driver level only.
+
+    Attributes:
+        time: Virtual-clock instant of the crash.
+        source: Name of the source whose schedule carried the crash spec.
+    """
+
+    def __init__(self, message: str, *, time: float, source: str) -> None:
+        super().__init__(message)
+        self.time = time
+        self.source = source
 
 _INF = float("inf")
 
@@ -66,6 +87,7 @@ class FaultStats:
     disordered: int = 0
     punctuation_dropped: int = 0
     punctuation_delayed: int = 0
+    crashes: int = 0
 
     @property
     def data_lost(self) -> int:
@@ -279,6 +301,41 @@ class OutOfOrderBurst(FaultSpec):
                     - rng.uniform(0.0, self.max_disorder))
             else:
                 yield arrival
+
+
+@dataclass(frozen=True)
+class ProcessCrash(FaultSpec):
+    """The process crash-stops when the schedule reaches instant ``at``.
+
+    An arrival-level spec: the first arrival at or past ``at`` raises
+    :class:`SimulatedCrash` *instead of* being delivered — exactly the
+    shape of a crash-stop failure (the tuple never reached the DSMS, so it
+    is not in the WAL and must be re-fed after recovery).  The driver
+    catches the exception, abandons the simulation object, rebuilds the
+    graph from its factory, and runs
+    :meth:`repro.recovery.RecoveryManager.recover`; the crashed arrival and
+    everything after it are re-attached with
+    ``attach_arrivals(..., skip=report.ingests_by_source[...])``.
+    """
+
+    source: str
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise WorkloadError(
+                f"crash instant must be non-negative, got {self.at}")
+
+    def wrap(self, arrivals: Iterator[Arrival], rng: random.Random,
+             stats: FaultStats) -> Iterator[Arrival]:
+        for arrival in arrivals:
+            if arrival.time >= self.at:
+                stats.crashes += 1
+                raise SimulatedCrash(
+                    f"simulated process crash at t={self.at:g} "
+                    f"(source {self.source!r})",
+                    time=self.at, source=self.source)
+            yield arrival
 
 
 @dataclass(frozen=True)

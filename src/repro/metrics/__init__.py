@@ -4,9 +4,10 @@ from .idle import IdleTracker
 from .latency import LatencyRecorder
 from .profile import OperatorProfile, format_profile, profile_simulation
 from .queues import QueueSampler, queue_summary
-from .recovery import RecoveryTracker
+from .recovery import CheckpointTracker, RecoveryTracker
 
 __all__ = [
+    "CheckpointTracker",
     "IdleTracker",
     "LatencyRecorder",
     "OperatorProfile",

@@ -13,7 +13,54 @@ from __future__ import annotations
 
 from ..core.operators.sink import SinkNode
 
-__all__ = ["RecoveryTracker"]
+__all__ = ["CheckpointTracker", "RecoveryTracker"]
+
+
+class CheckpointTracker:
+    """Wall-clock cost figures of checkpointing and crash recovery.
+
+    A :class:`~repro.recovery.RecoveryManager` given a tracker reports every
+    checkpoint it writes and every recovery it performs; the figures fold
+    into the metrics registry alongside the liveness numbers of
+    :class:`RecoveryTracker`.
+    """
+
+    def __init__(self) -> None:
+        self.checkpoints = 0
+        self.checkpoint_seconds = 0.0
+        self.checkpoint_bytes = 0
+        self.last_checkpoint_seconds = 0.0
+        self.recoveries = 0
+        self.recovery_seconds = 0.0
+        self.last_recovery_seconds = 0.0
+        self.last_replayed = 0
+
+    def note_checkpoint(self, *, duration: float, bytes_written: int) -> None:
+        """Record one durably written checkpoint."""
+        self.checkpoints += 1
+        self.checkpoint_seconds += duration
+        self.checkpoint_bytes += bytes_written
+        self.last_checkpoint_seconds = duration
+
+    def note_recovery(self, *, duration: float, replayed: int) -> None:
+        """Record one completed recovery (time-to-recover + replay size)."""
+        self.recoveries += 1
+        self.recovery_seconds += duration
+        self.last_recovery_seconds = duration
+        self.last_replayed = replayed
+
+    def as_dict(self) -> dict[str, float]:
+        """Figures under canonical ``snake_case`` names (registry shape)."""
+        return {
+            "checkpoints": float(self.checkpoints),
+            "checkpoint_seconds": self.checkpoint_seconds,
+            "checkpoint_bytes": float(self.checkpoint_bytes),
+            "last_checkpoint_seconds": self.last_checkpoint_seconds,
+            "recoveries": float(self.recoveries),
+            "recovery_seconds": self.recovery_seconds,
+            "last_recovery_seconds": self.last_recovery_seconds,
+            "last_replayed": float(self.last_replayed),
+        }
 
 
 class RecoveryTracker:

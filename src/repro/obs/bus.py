@@ -41,6 +41,8 @@ HOOKS = (
     "on_buffer_change",
     "on_fault",
     "on_quiesce",
+    "on_checkpoint",
+    "on_recovery",
 )
 
 
@@ -108,6 +110,26 @@ class Observer:
 
     def on_quiesce(self, *, round_id: int, time: float) -> None:
         """The engine's wake-up round reached quiescence."""
+
+    def on_checkpoint(self, *, number: int, time: float, duration: float = 0.0,
+                      bytes_written: int = 0, wal_records: int = 0) -> None:
+        """A checkpoint was written durably (``number`` is its sequence).
+
+        ``duration`` is wall-clock seconds spent writing; ``wal_records`` is
+        the WAL position the checkpoint covers (records before it need no
+        replay).
+        """
+
+    def on_recovery(self, *, checkpoint: int, time: float,
+                    replayed: int = 0, suppressed: int = 0,
+                    duration: float = 0.0, fallback: bool = False,
+                    detail: str = "") -> None:
+        """Recovery from disk completed (``checkpoint`` is the one used).
+
+        ``fallback`` is True when the latest checkpoint was corrupt and an
+        older one was used — always accompanied by an ``on_fault`` event per
+        corrupted file.
+        """
 
 
 class EventBus:
@@ -182,6 +204,12 @@ class EventBus:
 
     def quiesce(self, **kw) -> None:
         self._emit("on_quiesce", kw)
+
+    def checkpoint(self, **kw) -> None:
+        self._emit("on_checkpoint", kw)
+
+    def recovery(self, **kw) -> None:
+        self._emit("on_recovery", kw)
 
 
 class NullBus(EventBus):

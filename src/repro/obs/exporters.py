@@ -21,6 +21,7 @@ virtual-time, so there is no need (and no way) to stream in real time.
 from __future__ import annotations
 
 import json
+import os
 from typing import IO, TYPE_CHECKING
 
 from .bus import Observer
@@ -38,12 +39,18 @@ class JsonlExporter(Observer):
         capacity: Optional cap on retained events; when reached, recording
             stops and :attr:`dropped` counts the overflow (a terminal
             ``{"event": "truncated"}`` record marks the cut).
+        path: Optional destination; when set, :meth:`close` persists the
+            records there (with flush + fsync, so the trace survives a
+            crash that follows the close).
     """
 
-    def __init__(self, capacity: int | None = None) -> None:
+    def __init__(self, capacity: int | None = None,
+                 path: str | None = None) -> None:
         self.records: list[dict] = []
         self.capacity = capacity
         self.dropped = 0
+        self.path = path
+        self.closed = False
 
     def _record(self, event: str, kw: dict) -> None:
         if self.capacity is not None and len(self.records) >= self.capacity:
@@ -82,6 +89,12 @@ class JsonlExporter(Observer):
     def on_quiesce(self, **kw) -> None:
         self._record("quiesce", kw)
 
+    def on_checkpoint(self, **kw) -> None:
+        self._record("checkpoint", kw)
+
+    def on_recovery(self, **kw) -> None:
+        self._record("recovery", kw)
+
     def lines(self) -> list[str]:
         """The events as JSON-lines strings (sorted keys: byte-stable)."""
         return [json.dumps(rec, sort_keys=True, default=str)
@@ -92,8 +105,28 @@ class JsonlExporter(Observer):
             fp.write(line + "\n")
 
     def write(self, path: str) -> None:
+        """Write the records to ``path``, flushed and fsynced to disk.
+
+        The fsync matters in this codebase: traces of a crashing run are
+        evidence, and evidence sitting in OS page cache dies with the
+        machine.
+        """
         with open(path, "w") as fp:
             self.dump(fp)
+            fp.flush()
+            os.fsync(fp.fileno())
+
+    def close(self) -> None:
+        """Persist to :attr:`path` (when set) durably; idempotent.
+
+        The first call writes + fsyncs; subsequent calls are no-ops, so
+        crash handlers and ``finally`` blocks may both close safely.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if self.path is not None:
+            self.write(self.path)
 
 
 #: Microseconds per simulated second in Chrome trace timestamps.
@@ -177,6 +210,19 @@ class ChromeTraceExporter(Observer):
     def on_fault(self, *, kind, operator, round_id, time, detail="") -> None:
         self._instant(f"{kind}:{operator}", time, self.TID_FAULTS,
                       {"round": round_id, "detail": detail})
+
+    def on_checkpoint(self, *, number, time, duration=0.0, bytes_written=0,
+                      wal_records=0) -> None:
+        self._instant(f"checkpoint:{number}", time, self.TID_FAULTS,
+                      {"duration": duration, "bytes": bytes_written,
+                       "wal_records": wal_records})
+
+    def on_recovery(self, *, checkpoint, time, replayed=0, suppressed=0,
+                    duration=0.0, fallback=False, detail="") -> None:
+        self._instant(f"recovery:from-{checkpoint}", time, self.TID_FAULTS,
+                      {"replayed": replayed, "suppressed": suppressed,
+                       "duration": duration, "fallback": fallback,
+                       "detail": detail})
 
     def to_document(self) -> dict:
         """The full ``trace_event`` JSON document (metadata included)."""

@@ -229,6 +229,19 @@ class MetricsRegistry(Observer):
             "Join-window candidates, examined vs emitted (result label)")
         self.busy_time = c("repro_engine_busy_seconds_total",
                            "Simulated CPU seconds charged to steps")
+        self.checkpoints = c("repro_checkpoint_total",
+                             "Checkpoints written durably")
+        self.checkpoint_bytes = c("repro_checkpoint_bytes_total",
+                                  "Bytes written across all checkpoints")
+        self.checkpoint_duration = c(
+            "repro_checkpoint_seconds_total",
+            "Wall-clock seconds spent writing checkpoints")
+        self.checkpoint_last = g("repro_checkpoint_last",
+                                 "Figures of the most recent checkpoint")
+        self.recoveries = c("repro_recovery_total",
+                            "Recoveries from disk, by outcome label")
+        self.recovery_last = g("repro_recovery_last",
+                               "Figures of the most recent recovery")
         # Absorbed end-of-run aggregates.
         self.idle_wait = g("repro_idle_wait_seconds",
                            "Idle-waiting time per IWP operator")
@@ -321,6 +334,26 @@ class MetricsRegistry(Observer):
 
     def on_fault(self, *, kind, operator, round_id, time, detail="") -> None:
         self.faults.inc(kind=kind, operator=operator)
+
+    def on_checkpoint(self, *, number, time, duration=0.0, bytes_written=0,
+                      wal_records=0) -> None:
+        self.checkpoints.inc()
+        if bytes_written:
+            self.checkpoint_bytes.inc(bytes_written)
+        if duration:
+            self.checkpoint_duration.inc(duration)
+        self.checkpoint_last.set(number, field="number")
+        self.checkpoint_last.set(bytes_written, field="bytes")
+        self.checkpoint_last.set(wal_records, field="wal_records")
+
+    def on_recovery(self, *, checkpoint, time, replayed=0, suppressed=0,
+                    duration=0.0, fallback=False, detail="") -> None:
+        self.recoveries.inc(
+            outcome="fallback" if fallback else "latest")
+        self.recovery_last.set(checkpoint, field="checkpoint")
+        self.recovery_last.set(replayed, field="replayed")
+        self.recovery_last.set(suppressed, field="suppressed")
+        self.recovery_last.set(duration, field="duration_seconds")
 
     # ------------------------------------------------------------------ #
     # Derived figures

@@ -91,6 +91,12 @@ class Simulation:
             forwarded to the engine's event bus; the kernel additionally
             publishes its own events (arrivals, heartbeat / fallback
             punctuation, degradation-ladder actions) on the same bus.
+        checkpoint_every: Forwarded to the engine — checkpoint every N
+            wake-up rounds (requires ``recovery``; without a manager bound
+            the engine's hook stays empty and nothing fires).
+        recovery: Optional :class:`~repro.recovery.RecoveryManager`; bound
+            to this simulation's graph/engine/clock at construction, making
+            every ingest and wake-up WAL-logged and crash-recoverable.
     """
 
     def __init__(self, graph: QueryGraph, *,
@@ -106,6 +112,8 @@ class Simulation:
                  monitor=None,
                  observers: list[Observer] | None = None,
                  max_steps_per_round: int | None = None,
+                 checkpoint_every: int | None = None,
+                 recovery=None,
                  engine_cls: type[ExecutionEngine] = ExecutionEngine,
                  engine_kwargs: dict | None = None) -> None:
         self.graph = graph
@@ -121,6 +129,8 @@ class Simulation:
         merged_kwargs = dict(engine_kwargs or {})
         if batch_size != 1:
             merged_kwargs.setdefault("batch_size", batch_size)
+        if checkpoint_every is not None:
+            merged_kwargs.setdefault("checkpoint_every", checkpoint_every)
         obs_list = list(observers or [])
         obs_list.extend(merged_kwargs.pop("observers", None) or [])
         if stall_detector is not None and isinstance(stall_detector, Observer):
@@ -166,13 +176,21 @@ class Simulation:
         self._started = False
         self.arrivals_delivered = 0
         self.heartbeats_delivered = 0
+        #: Optional :class:`~repro.recovery.RecoveryManager`: binding it
+        #: here interposes WAL logging on every source ingest, harness
+        #: punctuation, and engine wake-up, and wires the engine's
+        #: ``checkpoint_hook`` — everything the simulation does from now on
+        #: is durable and crash-recoverable.
+        self.recovery = recovery
+        if recovery is not None:
+            recovery.bind(graph, self.engine, self.clock, sim=self)
 
     # ------------------------------------------------------------------ #
     # Configuration
 
     def attach_arrivals(self, source: SourceNode,
                         arrivals: Iterator[Arrival],
-                        *, faults=None) -> None:
+                        *, faults=None, skip: int = 0) -> None:
         """Feed ``source`` from an iterator of time-ordered arrivals.
 
         Args:
@@ -181,6 +199,10 @@ class Simulation:
             faults: Optional :class:`~repro.faults.plan.FaultPlan`; its
                 arrival-level specs targeting this source wrap the schedule
                 before it is attached.
+            skip: Drop this many (post-fault) arrivals before the first one
+                is scheduled.  Crash recovery re-attaches the original
+                schedule with ``skip=report.ingests_by_source[name]`` —
+                everything the WAL already replayed is not fed twice.
         """
         if source.name not in self.graph or self.graph[source.name] is not source:
             raise WorkloadError(
@@ -190,9 +212,15 @@ class Simulation:
             raise WorkloadError(
                 f"source {source.name!r} already has an arrival process"
             )
+        if skip < 0:
+            raise WorkloadError(f"skip must be non-negative, got {skip}")
         if faults is not None:
             arrivals = faults.wrap(source.name, arrivals)
-        self._arrival_iters[source.name] = iter(arrivals)
+        iterator = iter(arrivals)
+        for _ in range(skip):
+            if next(iterator, None) is None:
+                break
+        self._arrival_iters[source.name] = iterator
         self._schedule_next_arrival(source)
 
     def schedule_arrival(self, source: SourceNode, arrival: Arrival) -> None:

@@ -30,9 +30,10 @@ from repro.core.execution import ExecutionEngine
 from repro.core.graph import QueryGraph
 from repro.core.operators.sink import SinkNode
 from repro.core.operators.source import SourceNode
+from repro.recovery import RecoveryManager
 from repro.sim.clock import VirtualClock
 
-__all__ = ["Feed", "DifferentialOracle", "SinkRecord"]
+__all__ = ["CrashRecoveryOracle", "Feed", "DifferentialOracle", "SinkRecord"]
 
 #: Canonical record of one delivered tuple: (sink name, timestamp, payload).
 SinkRecord = tuple[str, float, Any]
@@ -224,6 +225,144 @@ class DifferentialOracle:
         self.assert_ets_invariant(external_delta=external_delta)
         self.assert_ets_invariant(batch_size=max(batch_sizes),
                                   external_delta=external_delta)
+
+
+class CrashRecoveryOracle:
+    """Crash a run mid-feed, recover it, and assert exactly-once output.
+
+    The durability claim of :mod:`repro.recovery` in executable form: for
+    any crash point, the tuples delivered *before* the crash plus those
+    delivered *after* recovery must be byte-identical to an uncrashed run —
+    no loss, no duplicates, same order.  The oracle shares
+    :class:`DifferentialOracle`'s drive (chunked feeds between wake-ups,
+    free CPU, deterministic schedules) so the claim holds exactly.
+
+    Args:
+        build: Zero-argument factory returning a fresh graph per run.
+        feeds: Deterministic, time-ordered arrival schedule.
+        chunk: Arrivals ingested between engine wake-ups.
+    """
+
+    def __init__(self, build: Callable[[], QueryGraph], feeds: Sequence[Feed],
+                 *, chunk: int = 32) -> None:
+        self.build = build
+        self.feeds = list(feeds)
+        self.chunk = chunk
+
+    def _engine(self, state_dir, *, batch_size: int,
+                ets_policy: EtsPolicy | None, checkpoint_every: int | None):
+        graph = self.build()
+        traces: dict[str, list[SinkRecord]] = {}
+        for sink in sorted(graph.sinks(), key=lambda s: s.name):
+            traces[sink.name] = DifferentialOracle._capture(sink)
+        clock = VirtualClock()
+        engine = ExecutionEngine(
+            graph, clock, cost_model=None,
+            ets_policy=ets_policy if ets_policy is not None else NoEts(),
+            batch_size=batch_size, checkpoint_every=checkpoint_every)
+        manager = (RecoveryManager(state_dir).bind(graph, engine, clock)
+                   if state_dir is not None else None)
+        return graph, clock, engine, manager, traces
+
+    def _drive(self, graph, clock, engine, *, start: int,
+               stop: int | None = None, eos: bool = True) -> None:
+        sources = {src.name: src for src in graph.sources()}
+        entry: SourceNode | None = None
+        for index, feed in enumerate(self.feeds):
+            if index < start:
+                continue
+            if stop is not None and index >= stop:
+                break
+            clock.advance_to(feed.time)
+            source = sources[feed.source]
+            source.ingest(feed.payload, now=clock.now(),
+                          ts=feed.external_ts, arrival=feed.time)
+            entry = source
+            if (index + 1) % self.chunk == 0:
+                engine.wakeup(entry)
+                entry = None
+        if stop is None and eos:
+            final_ts = clock.now() + 1.0
+            for name in sorted(sources):
+                sources[name].inject_punctuation(
+                    final_ts, origin=f"oracle-eos:{name}")
+            engine.wakeup()
+        elif entry is not None and stop is None:
+            engine.wakeup()
+
+    @staticmethod
+    def _flatten(traces: dict[str, list[SinkRecord]]) -> list[SinkRecord]:
+        out: list[SinkRecord] = []
+        for name in sorted(traces):
+            out.extend(traces[name])
+        return out
+
+    def run_reference(self, *, batch_size: int = 1,
+                      ets_policy: EtsPolicy | None = None) -> list[SinkRecord]:
+        """The uncrashed run's canonical sink sequence."""
+        graph, clock, engine, _, traces = self._engine(
+            None, batch_size=batch_size, ets_policy=ets_policy,
+            checkpoint_every=None)
+        self._drive(graph, clock, engine, start=0)
+        return self._flatten(traces)
+
+    def run_crashed(self, state_dir, *, crash_index: int,
+                    batch_size: int = 1,
+                    ets_policy: EtsPolicy | None = None,
+                    checkpoint_every: int = 4,
+                    corrupt_latest: bool = False):
+        """Crash at feed ``crash_index``, recover, resume; returns
+        ``(combined_records, recovery_report)``."""
+        graph, clock, engine, manager, traces = self._engine(
+            state_dir, batch_size=batch_size, ets_policy=ets_policy,
+            checkpoint_every=checkpoint_every)
+        self._drive(graph, clock, engine, start=0, stop=crash_index)
+        pre = self._flatten(traces)
+        manager.close()
+
+        if corrupt_latest:
+            numbers = manager.store.numbers()
+            assert numbers, "corrupt_latest needs at least one checkpoint"
+            path = manager.store.path_for(numbers[-1])
+            blob = bytearray(path.read_bytes())
+            blob[len(blob) // 2] ^= 0xFF
+            path.write_bytes(bytes(blob))
+
+        graph, clock, engine, manager, traces = self._engine(
+            state_dir, batch_size=batch_size, ets_policy=ets_policy,
+            checkpoint_every=checkpoint_every)
+        report = manager.recover()
+        resumed = sum(report.ingests_by_source.values())
+        assert resumed == crash_index, \
+            f"WAL holds {resumed} ingests, crashed at {crash_index}"
+        self._drive(graph, clock, engine, start=crash_index)
+        manager.close()
+        return pre + self._flatten(traces), report
+
+    def assert_exactly_once(self, state_dir, *, crash_index: int,
+                            batch_size: int = 1,
+                            ets_policy_factory: Callable[[], EtsPolicy]
+                            | None = None,
+                            checkpoint_every: int = 4,
+                            corrupt_latest: bool = False) -> None:
+        """Recovered output must equal the uncrashed run's, byte for byte."""
+        def policy() -> EtsPolicy:
+            return ets_policy_factory() if ets_policy_factory else NoEts()
+
+        reference = self.run_reference(batch_size=batch_size,
+                                       ets_policy=policy())
+        combined, report = self.run_crashed(
+            state_dir, crash_index=crash_index, batch_size=batch_size,
+            ets_policy=policy(), checkpoint_every=checkpoint_every,
+            corrupt_latest=corrupt_latest)
+        if corrupt_latest:
+            assert report.fallback and report.skipped, \
+                "corrupted latest checkpoint was not fallen past"
+        _assert_same(reference, combined,
+                     f"recovery at feed {crash_index} "
+                     f"(batch_size={batch_size}, "
+                     f"checkpoint_every={checkpoint_every}) is not "
+                     f"exactly-once")
 
 
 def _canonical(records: list[SinkRecord]) -> list[SinkRecord]:

@@ -205,3 +205,55 @@ class TestBufferRegistry:
         buf.push(data(2.0))
         buf.pop()
         assert seen == [1, 2, 1]
+
+
+class TestOnChangeHookIsolation:
+    def test_hook_exception_does_not_unwind_mutation(self):
+        reg = BufferRegistry()
+        buf = StreamBuffer("a", reg)
+
+        def bad_hook():
+            raise RuntimeError("consumer blew up")
+
+        buf.on_change = bad_hook
+        buf.push(data(1.0))  # must not raise
+        assert len(buf) == 1
+        assert reg.total == 1
+        assert buf.hook_errors == 1
+        assert isinstance(buf.last_hook_error, RuntimeError)
+
+    def test_later_notifications_still_fire(self):
+        """One bad invocation must not poison the hook for good — the
+        cached gate-min of IWP consumers depends on later notifications."""
+        reg = BufferRegistry()
+        buf = StreamBuffer("a", reg)
+        calls = []
+        fail_once = [True]
+
+        def flaky_hook():
+            calls.append(len(buf))
+            if fail_once[0]:
+                fail_once[0] = False
+                raise ValueError("transient")
+
+        buf.on_change = flaky_hook
+        buf.push(data(1.0))
+        buf.push(data(2.0))
+        buf.pop()
+        assert calls == [1, 2, 1]
+        assert buf.hook_errors == 1
+
+    def test_every_mutation_kind_is_isolated(self):
+        reg = BufferRegistry()
+        buf = StreamBuffer("a", reg)
+        for i in range(3):
+            buf.push(data(float(i)))
+
+        def bad_hook():
+            raise RuntimeError("boom")
+
+        buf.on_change = bad_hook
+        buf.pop()
+        buf.clear()
+        assert buf.hook_errors == 2
+        assert len(buf) == 0

@@ -1,0 +1,192 @@
+"""Crash-stop recovery: the exactly-once claim, exhaustively.
+
+Every test crashes a run mid-feed with :class:`oracle.CrashRecoveryOracle`,
+recovers from the checkpoint directory, resumes, and asserts that the
+combined sink output is byte-identical to a run that never crashed.  The
+matrix spans the recovery design's risk axes: ETS modes (on-demand
+punctuation is regenerated during replay, not logged), batch sizes (replay
+must reproduce the exact wake-up chunking), and join state layouts (the
+hash-indexed bucket path restores from the same snapshot as the scan
+path).  The kernel-level tests exercise the same claim through
+:class:`~repro.sim.kernel.Simulation` with a :class:`ProcessCrash` fault
+and the ``python -m repro recover`` experiment harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from oracle import CrashRecoveryOracle
+from test_oracle import (
+    fig7_feeds,
+    join_graph,
+    pipeline_graph,
+    tie_feeds,
+    union_graph,
+)
+
+from repro.core.ets import NoEts, OnDemandEts
+from repro.core.graph import QueryGraph
+from repro.core.operators import Map, WindowJoin
+from repro.core.windows import WindowSpec
+from repro.experiments import CrashConfig, run_crash_experiment
+
+# --------------------------------------------------------------------- #
+# Graph factories beyond test_oracle's (the indexed-join layout)
+
+
+def indexed_join_graph() -> QueryGraph:
+    """Keyed symmetric join — auto-selects the hash-bucket window layout,
+    so recovery must rebuild per-key buckets from the snapshot's item log."""
+    graph = QueryGraph("oracle-join-indexed")
+    fast = graph.add_source("fast")
+    slow = graph.add_source("slow")
+    kf = graph.add(Map("key_fast", lambda p: {**p, "k": int(p["value"] * 4)}))
+    ks = graph.add(Map("key_slow", lambda p: {**p, "k": int(p["value"] * 4)}))
+    join = graph.add(WindowJoin("join", WindowSpec.time(5.0), key="k"))
+    sink = graph.add_sink("sink")
+    graph.connect(fast, kf)
+    graph.connect(slow, ks)
+    graph.connect(kf, join)
+    graph.connect(ks, join)
+    graph.connect(join, sink)
+    assert join.indexed, "keyed symmetric join should take the indexed path"
+    return graph
+
+
+GRAPHS = [
+    pytest.param(union_graph, id="union"),
+    pytest.param(join_graph, id="scan-join"),
+    pytest.param(indexed_join_graph, id="indexed-join"),
+]
+
+ETS_MODES = [
+    pytest.param(None, id="no-ets"),
+    pytest.param(lambda: OnDemandEts(), id="on-demand"),
+]
+
+
+def _feeds():
+    return fig7_feeds(fast=150, slow=4)
+
+
+# --------------------------------------------------------------------- #
+# The acceptance matrix: ETS modes x batch sizes x join layouts
+
+
+@pytest.mark.parametrize("build", GRAPHS)
+@pytest.mark.parametrize("ets_factory", ETS_MODES)
+@pytest.mark.parametrize("batch_size", [1, 4])
+def test_exactly_once_matrix(tmp_path, build, ets_factory, batch_size):
+    oracle = CrashRecoveryOracle(build, _feeds())
+    oracle.assert_exactly_once(
+        tmp_path, crash_index=77, batch_size=batch_size,
+        ets_policy_factory=ets_factory)
+
+
+@pytest.mark.parametrize("crash_index", [1, 40, 120, 153])
+def test_exactly_once_across_crash_points(tmp_path, crash_index):
+    """Any crash point — right after the first feed, mid-run, or on the
+    penultimate arrival — recovers byte-identically."""
+    oracle = CrashRecoveryOracle(union_graph, _feeds())
+    oracle.assert_exactly_once(tmp_path, crash_index=crash_index)
+
+
+def test_exactly_once_stateful_pipeline(tmp_path):
+    """Shed RNG state and tumbling-aggregate accumulators survive recovery
+    (a lost RNG draw or partial pane would break byte-identity)."""
+    oracle = CrashRecoveryOracle(pipeline_graph, fig7_feeds(fast=200, slow=0))
+    oracle.assert_exactly_once(
+        tmp_path, crash_index=101, batch_size=4,
+        ets_policy_factory=lambda: OnDemandEts())
+
+
+def test_exactly_once_on_timestamp_ties(tmp_path):
+    """Tie-heavy merges: replay must reproduce the union's tie-breaking."""
+    oracle = CrashRecoveryOracle(union_graph, tie_feeds(rounds=80))
+    oracle.assert_exactly_once(tmp_path, crash_index=91, batch_size=4)
+
+
+# --------------------------------------------------------------------- #
+# Corruption fallback and degenerate checkpoint schedules
+
+
+def test_corrupt_latest_falls_back_to_previous(tmp_path):
+    """Flipping a byte in the newest checkpoint forces recovery onto the
+    previous one; the longer WAL suffix replay still lands byte-identical,
+    and the report records the loud skip."""
+    oracle = CrashRecoveryOracle(union_graph, _feeds(), chunk=8)
+    oracle.assert_exactly_once(
+        tmp_path, crash_index=100, checkpoint_every=3, corrupt_latest=True)
+
+
+def test_recovery_without_any_checkpoint(tmp_path):
+    """checkpoint_every beyond the crash point means no checkpoint was ever
+    written — recovery replays the whole WAL from a fresh graph."""
+    oracle = CrashRecoveryOracle(union_graph, _feeds())
+    combined, report = oracle.run_crashed(
+        tmp_path, crash_index=60, checkpoint_every=10_000)
+    reference = oracle.run_reference()
+    assert combined == reference
+    assert report.checkpoint_number == 0
+    assert report.ingests_replayed == 60
+
+
+def test_report_accounting(tmp_path):
+    """The recovery report's counters reconcile with the WAL contents."""
+    oracle = CrashRecoveryOracle(union_graph, _feeds(), chunk=8)
+    _, report = oracle.run_crashed(tmp_path, crash_index=90,
+                                   checkpoint_every=4)
+    assert report.checkpoint_number > 0
+    assert not report.fallback
+    assert report.wal_clean
+    assert sum(report.ingests_by_source.values()) == 90
+    assert report.ingests_replayed <= 90
+    assert report.replayed >= report.ingests_replayed
+    d = report.as_dict()
+    assert d["checkpoint_number"] == report.checkpoint_number
+    assert d["total_suppressed"] == report.total_suppressed
+
+
+# --------------------------------------------------------------------- #
+# Kernel-level: Simulation + ProcessCrash + resume-with-skip
+
+
+def _small_config(tmp_path, **overrides) -> CrashConfig:
+    defaults = dict(
+        duration=20.0, rate_fast=20.0, rate_slow=0.5, seed=7,
+        crash_at=10.0, checkpoint_every=25,
+        state_dir=str(tmp_path / "state"))
+    defaults.update(overrides)
+    return CrashConfig(**defaults)
+
+
+def test_crash_experiment_exactly_once(tmp_path):
+    report = run_crash_experiment(_small_config(tmp_path))
+    assert report.identical
+    assert report.pre_crash_delivered > 0
+    assert report.post_recovery_delivered > 0
+    assert (report.pre_crash_delivered + report.post_recovery_delivered
+            == report.reference_delivered)
+    assert report.checkpoints_written > 0
+    assert report.recovery["replayed"] > 0
+
+
+def test_crash_experiment_corrupt_latest(tmp_path):
+    report = run_crash_experiment(
+        _small_config(tmp_path, corrupt_latest=True, checkpoint_every=20))
+    assert report.identical
+    assert report.recovery["fallback"]
+    assert report.recovery["skipped"]
+
+
+def test_crash_experiment_no_ets_batched(tmp_path):
+    report = run_crash_experiment(
+        _small_config(tmp_path, base_ets="none", batch_size=4))
+    assert report.identical
+
+
+def test_crash_experiment_rejects_bad_crash_point(tmp_path):
+    from repro.core.errors import WorkloadError
+    with pytest.raises(WorkloadError):
+        _small_config(tmp_path, crash_at=25.0)

@@ -12,6 +12,7 @@ an API change and must be deliberate.  Regenerate with::
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 from repro.core.ets import OnDemandEts
@@ -145,3 +146,34 @@ if __name__ == "__main__":
         _regen()
     else:
         print(__doc__)
+
+
+def test_jsonl_close_is_idempotent(tmp_path):
+    path = tmp_path / "events.jsonl"
+    events = JsonlExporter(path=str(path))
+    events.on_wakeup(round_id=1, time=0.0)
+    events.close()
+    first = path.read_text()
+    events.on_wakeup(round_id=2, time=1.0)  # after close: retained only
+    events.close()  # no-op: must not rewrite or duplicate
+    assert path.read_text() == first
+    assert len(first.splitlines()) == 1
+
+
+def test_jsonl_close_without_path_is_safe():
+    events = JsonlExporter()
+    events.on_wakeup(round_id=1, time=0.0)
+    events.close()
+    events.close()
+    assert events.closed
+
+
+def test_jsonl_write_flushes_and_fsyncs(tmp_path, monkeypatch):
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync",
+                        lambda fd: (synced.append(fd), real_fsync(fd))[1])
+    events = JsonlExporter(path=str(tmp_path / "events.jsonl"))
+    events.on_wakeup(round_id=1, time=0.0)
+    events.close()
+    assert synced, "close() must fsync the trace to disk"

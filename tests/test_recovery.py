@@ -1,0 +1,379 @@
+"""Unit tests for the recovery subsystem's parts (see DESIGN.md §4f).
+
+The crash-recovery *claim* is tested end-to-end in
+``test_crash_recovery.py``; this module pins the mechanisms it rests on:
+WAL framing and truncation tolerance, checkpoint numbering / pruning /
+CRC-checked fallback, the checkpoint document's contents, and the
+observability wiring (bus events, metrics registry counters, tracker).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from test_oracle import union_graph
+
+from repro.core.errors import RecoveryError
+from repro.core.ets import OnDemandEts
+from repro.core.execution import ExecutionEngine
+from repro.metrics.recovery import CheckpointTracker
+from repro.obs import EventBus, MetricsRegistry, Observer
+from repro.recovery import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointStore,
+    CheckpointWriter,
+    RecoveryManager,
+    WAL_MAGIC,
+    WriteAheadLog,
+)
+from repro.sim.clock import VirtualClock
+
+
+# --------------------------------------------------------------------- #
+# Write-ahead log
+
+
+class TestWriteAheadLog:
+    def test_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        records = [
+            {"kind": "ingest", "source": "fast", "time": 0.5,
+             "payload": {"seq": 0}},
+            {"kind": "punct", "source": "fast", "ts": 1.0},
+            {"kind": "marks", "marks": {"sink": 3}},
+        ]
+        for rec in records:
+            wal.append(rec)
+        wal.close()
+        replayed, clean = WriteAheadLog(tmp_path / "wal.log") \
+            .replay_with_status()
+        assert clean
+        assert [dict(r) for r in replayed] == records
+        assert [r.kind for r in replayed] == ["ingest", "punct", "marks"]
+
+    def test_missing_or_empty_log_replays_clean(self, tmp_path):
+        assert WriteAheadLog(tmp_path / "absent.log") \
+            .replay_with_status() == ([], True)
+        (tmp_path / "empty.log").write_bytes(b"")
+        assert WriteAheadLog(tmp_path / "empty.log") \
+            .replay_with_status() == ([], True)
+
+    def test_append_requires_kind(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        with pytest.raises(RecoveryError):
+            wal.append({"source": "fast"})
+
+    def test_torn_tail_stops_replay_cleanly(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        for i in range(5):
+            wal.append({"kind": "ingest", "source": "s", "seq": i})
+        wal.close()
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-3])  # crash mid-append: torn final frame
+        records, clean = WriteAheadLog(path).replay_with_status()
+        assert not clean
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+
+    def test_corrupt_mid_frame_truncates_there(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        for i in range(4):
+            wal.append({"kind": "ingest", "source": "s", "seq": i})
+        wal.close()
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # corruption before the tail
+        path.write_bytes(bytes(blob))
+        records, clean = WriteAheadLog(path).replay_with_status()
+        assert not clean
+        assert len(records) < 4
+
+    def test_truncate_to_valid_cuts_the_tail(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        for i in range(5):
+            wal.append({"kind": "ingest", "source": "s", "seq": i})
+        wal.close()
+        path.write_bytes(path.read_bytes()[:-2])
+        fresh = WriteAheadLog(path)
+        assert fresh.truncate_to_valid() == 4
+        assert fresh.records_written == 4
+        # The log is clean again and appendable past the cut.
+        fresh.append({"kind": "ingest", "source": "s", "seq": 99})
+        fresh.close()
+        records, clean = WriteAheadLog(path).replay_with_status()
+        assert clean
+        assert [r["seq"] for r in records] == [0, 1, 2, 3, 99]
+
+    def test_truncate_to_valid_noop_on_clean_log(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append({"kind": "marks", "marks": {}})
+        wal.close()
+        before = path.read_bytes()
+        assert WriteAheadLog(path).truncate_to_valid() == 1
+        assert path.read_bytes() == before
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"NOTAWAL!" + b"\x00" * 16)
+        with pytest.raises(RecoveryError):
+            WriteAheadLog(path).replay()
+        with pytest.raises(RecoveryError):
+            WriteAheadLog(path).truncate_to_valid()
+
+    def test_reopen_continues_numbering(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append({"kind": "marks", "marks": {}})
+        wal.close()
+        again = WriteAheadLog(path)
+        again.append({"kind": "marks", "marks": {"sink": 1}})
+        assert again.records_written == 2
+        again.close()
+        assert path.read_bytes().startswith(WAL_MAGIC)
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint store
+
+
+class TestCheckpointStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        doc = {"format": 1, "payload": list(range(10))}
+        info = store.save(doc)
+        assert info.number == 1
+        assert info.bytes_written > 0
+        assert store.load(1) == doc
+        assert store.load_latest() == (1, doc, [])
+
+    def test_monotonic_numbering_and_pruning(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for i in range(5):
+            store.save({"i": i})
+        assert store.numbers() == [4, 5]
+        assert store.load_latest()[0] == 5
+
+    def test_writer_alias(self):
+        assert CheckpointWriter is CheckpointStore
+
+    def test_corrupt_latest_falls_back(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"i": 1})
+        store.save({"i": 2})
+        path = store.path_for(2)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        number, doc, skipped = store.load_latest()
+        assert (number, doc) == (1, {"i": 1})
+        assert [n for n, _ in skipped] == [2]
+
+    def test_truncated_checkpoint_is_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"i": 1})
+        path = store.path_for(1)
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.raises(RecoveryError):
+            store.load(1)
+
+    def test_bad_magic_is_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"i": 1})
+        path = store.path_for(1)
+        path.write_bytes(b"X" * path.stat().st_size)
+        with pytest.raises(RecoveryError):
+            store.load(1)
+
+    def test_all_corrupt_raises_with_skip_list(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for i in range(3):
+            store.save({"i": i})
+        for number in store.numbers():
+            store.path_for(number).write_bytes(b"garbage")
+        with pytest.raises(RecoveryError) as exc:
+            store.load_latest()
+        assert len(exc.value.fields["skipped"]) == 3
+
+    def test_empty_store_raises(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            CheckpointStore(tmp_path).load_latest()
+
+
+# --------------------------------------------------------------------- #
+# RecoveryManager wiring
+
+
+def _bound_manager(tmp_path, **manager_kwargs):
+    graph = union_graph()
+    clock = VirtualClock()
+    engine = ExecutionEngine(graph, clock, cost_model=None,
+                             ets_policy=OnDemandEts())
+    manager = RecoveryManager(tmp_path / "state", **manager_kwargs)
+    manager.bind(graph, engine, clock)
+    return graph, clock, engine, manager
+
+
+def _feed(graph, clock, engine, count=8):
+    fast = next(s for s in graph.sources() if s.name == "fast")
+    for i in range(count):
+        clock.advance_to(float(i))
+        fast.ingest({"seq": i, "value": 0.5}, now=clock.now())
+    engine.wakeup(fast)
+
+
+class TestRecoveryManager:
+    def test_assemble_state_contents(self, tmp_path):
+        graph, clock, engine, manager = _bound_manager(tmp_path)
+        _feed(graph, clock, engine)
+        state = manager.assemble_state()
+        assert state["format"] == CHECKPOINT_FORMAT_VERSION
+        assert state["graph_name"] == graph.name
+        assert state["clock_now"] == clock.now()
+        assert set(state["operators"]) == {
+            op.name for op in graph.operators
+            if hasattr(op, "snapshot_state")}
+        assert "union" in state["operators"]
+        assert "sink" in state["operators"]
+        assert len(state["buffers"]) == len(graph.buffers)
+        assert state["sink_delivered"] == {"sink": 8}
+        assert state["wal_index"] == manager.wal.records_written
+        manager.close()
+
+    def test_wal_logs_ingests_and_marks(self, tmp_path):
+        graph, clock, engine, manager = _bound_manager(tmp_path)
+        _feed(graph, clock, engine, count=5)
+        manager.close()
+        records = WriteAheadLog(tmp_path / "state" / "wal.log").replay()
+        kinds = [r.kind for r in records]
+        assert kinds.count("ingest") == 5
+        assert kinds[-1] == "marks"
+        assert records[-1]["marks"] == {"sink": 5}
+
+    def test_recover_unbound_raises(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            RecoveryManager(tmp_path / "state").recover()
+        with pytest.raises(RecoveryError):
+            RecoveryManager(tmp_path / "state").assemble_state()
+
+    def test_double_bind_raises(self, tmp_path):
+        graph, clock, engine, manager = _bound_manager(tmp_path)
+        with pytest.raises(RecoveryError):
+            manager.bind(graph, engine, clock)
+        manager.close()
+
+    def test_recover_without_checkpoint_replays_whole_wal(self, tmp_path):
+        graph, clock, engine, manager = _bound_manager(tmp_path)
+        _feed(graph, clock, engine, count=6)
+        delivered = graph["sink"].delivered
+        manager.close()
+
+        graph2, clock2, engine2, manager2 = _bound_manager(tmp_path)
+        report = manager2.recover()
+        assert report.checkpoint_number == 0
+        assert report.ingests_replayed == 6
+        assert report.wakeups_replayed == 1
+        assert graph2["sink"].delivered == delivered
+        # High-water-mark suppression: nothing new reached the sink hook.
+        assert report.suppressed == {"sink": delivered}
+        manager2.close()
+
+    def test_bus_events_and_tracker(self, tmp_path):
+        class Recorder(Observer):
+            def __init__(self):
+                self.checkpoints = []
+                self.recoveries = []
+                self.faults = []
+
+            def on_checkpoint(self, **kw):
+                self.checkpoints.append(kw)
+
+            def on_recovery(self, **kw):
+                self.recoveries.append(kw)
+
+            def on_fault(self, **kw):
+                self.faults.append(kw)
+
+        recorder = Recorder()
+        tracker = CheckpointTracker()
+        bus = EventBus().attach(recorder)
+        graph, clock, engine, manager = _bound_manager(
+            tmp_path, bus=bus, tracker=tracker)
+        _feed(graph, clock, engine)
+        manager.checkpoint()
+        info = manager.checkpoint()
+        assert recorder.checkpoints[-1]["number"] == info.number
+        assert recorder.checkpoints[-1]["bytes_written"] == info.bytes_written
+        assert tracker.checkpoints == 2
+        assert tracker.last_checkpoint_seconds == info.duration
+        manager.close()
+
+        # Corrupt the checkpoint: recovery falls back loudly and the
+        # recovery event + tracker figures still land.
+        path = manager.store.path_for(info.number)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+        graph2, clock2, engine2, manager2 = _bound_manager(
+            tmp_path, bus=bus, tracker=tracker)
+        report = manager2.recover()
+        assert report.fallback
+        assert any(f["kind"] == "checkpoint-corrupt"
+                   for f in recorder.faults)
+        assert recorder.recoveries[0]["fallback"] is True
+        assert tracker.recoveries == 1
+        assert tracker.last_replayed == report.replayed
+        manager2.close()
+
+    def test_metrics_registry_counters(self, tmp_path):
+        registry = MetricsRegistry()
+        bus = EventBus().attach(registry)
+        graph, clock, engine, manager = _bound_manager(tmp_path, bus=bus)
+        _feed(graph, clock, engine)
+        manager.checkpoint()
+        manager.checkpoint()
+        assert registry.checkpoints.value() == 2
+        assert registry.checkpoint_bytes.value() > 0
+        assert registry.checkpoint_last.value(field="number") == 2
+        manager.close()
+
+        graph2, clock2, engine2, manager2 = _bound_manager(tmp_path, bus=bus)
+        report = manager2.recover()
+        assert registry.recoveries.total == 1
+        assert registry.recovery_last.value(field="replayed") \
+            == report.replayed
+        manager2.close()
+
+    def test_torn_wal_tail_is_truncated_on_recover(self, tmp_path):
+        graph, clock, engine, manager = _bound_manager(tmp_path)
+        _feed(graph, clock, engine, count=4)
+        manager.close()
+        wal_path = tmp_path / "state" / "wal.log"
+        wal_path.write_bytes(wal_path.read_bytes()[:-3])
+
+        graph2, clock2, engine2, manager2 = _bound_manager(tmp_path)
+        report = manager2.recover()
+        assert not report.wal_clean
+        # Post-truncation the log replays cleanly.
+        manager2.close()
+        _, clean = WriteAheadLog(wal_path).replay_with_status()
+        assert clean
+
+    def test_checkpoint_hook_fires_on_schedule(self, tmp_path):
+        graph = union_graph()
+        clock = VirtualClock()
+        engine = ExecutionEngine(graph, clock, cost_model=None,
+                                 checkpoint_every=2)
+        manager = RecoveryManager(tmp_path / "state")
+        manager.bind(graph, engine, clock)
+        fast = next(s for s in graph.sources() if s.name == "fast")
+        for i in range(6):
+            clock.advance_to(float(i))
+            fast.ingest({"seq": i, "value": 0.5}, now=clock.now())
+            engine.wakeup(fast)
+        assert manager.store.numbers() == [1, 2, 3]
+        assert [manager.store.load(n)["engine"]["round_id"]
+                for n in manager.store.numbers()] == [2, 4, 6]
+        manager.close()

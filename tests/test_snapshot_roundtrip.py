@@ -1,0 +1,340 @@
+"""Hypothesis round-trip properties for the checkpoint snapshot contract.
+
+The recovery subsystem (DESIGN.md §4f) rests on one invariant per stateful
+component: ``restore_state(snapshot_state())`` into a *fresh* instance
+yields a component whose own snapshot is indistinguishable from the
+original's — for any reachable state.  These properties drive each
+component into a random state (random timestamps with ties, NaN and
+duplicate join keys, punctuation interleavings, partial windows), round-trip
+it, and compare snapshots byte-for-byte (pickled, so NaN payloads compare
+structurally rather than by IEEE equality).
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import OpHarness, data, punct
+
+from repro.core.buffers import BufferRegistry, StreamBuffer, TSMRegister
+from repro.core.ets import (
+    AdaptiveHeartbeatSchedule,
+    NoEts,
+    OnDemandEts,
+    PeriodicEtsSchedule,
+)
+from repro.core.operators import (
+    AggSpec,
+    Count,
+    Reorder,
+    Shed,
+    SinkNode,
+    SlidingAggregate,
+    Sum,
+    TumblingAggregate,
+    Union,
+    WindowJoin,
+)
+from repro.core.tuples import DataTuple
+from repro.core.windows import (
+    CountWindow,
+    IndexedCountWindow,
+    IndexedTimeWindow,
+    TimeWindow,
+    WindowSpec,
+)
+
+
+def same(a: dict, b: dict) -> bool:
+    """Structural snapshot equality that treats NaN == NaN."""
+    return pickle.dumps(a) == pickle.dumps(b)
+
+
+def roundtrip(original, fresh) -> None:
+    snap = original.snapshot_state()
+    fresh.restore_state(snap)
+    assert same(fresh.snapshot_state(), snap)
+    # The snapshot itself must be stable under re-snapshotting.
+    assert same(original.snapshot_state(), snap)
+
+
+# --------------------------------------------------------------------- #
+# Strategies
+
+#: Finite, non-negative, tie-prone timestamps (quantized to quarters).
+timestamps = st.integers(min_value=0, max_value=400).map(lambda n: n / 4.0)
+
+#: Join/bucket keys: small ints (forcing duplicates), NaN, and strings.
+keys = st.one_of(
+    st.integers(min_value=0, max_value=3),
+    st.just(float("nan")),
+    st.sampled_from(["a", "b"]),
+)
+
+
+@st.composite
+def tuple_batches(draw, max_size=30):
+    """A time-ordered batch of DataTuples with keyed payloads."""
+    times = sorted(draw(st.lists(timestamps, max_size=max_size)))
+    return [
+        DataTuple(ts=t, payload={"k": draw(keys), "value": draw(timestamps),
+                                 "seq": i},
+                  arrival_ts=t)
+        for i, t in enumerate(times)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Core state holders
+
+
+@settings(max_examples=40)
+@given(updates=st.lists(timestamps, max_size=20))
+def test_tsm_register_roundtrip(updates):
+    reg = TSMRegister()
+    for ts in updates:
+        reg.update(ts)
+    roundtrip(reg, TSMRegister())
+
+
+@settings(max_examples=40)
+@given(batch=tuple_batches(), pops=st.integers(min_value=0, max_value=10),
+       punct_offsets=st.lists(timestamps, max_size=3).map(sorted))
+def test_stream_buffer_roundtrip(batch, pops, punct_offsets):
+    buf = StreamBuffer("a", BufferRegistry())
+    frontier = 0.0
+    for tup in batch:
+        buf.push(tup)
+        frontier = tup.ts
+    for offset in punct_offsets:
+        buf.push(punct(frontier + offset))
+    for _ in range(min(pops, len(buf))):
+        buf.pop()
+    roundtrip(buf, StreamBuffer("a", BufferRegistry()))
+
+
+# --------------------------------------------------------------------- #
+# Window layouts (scan and hash-indexed, NaN and duplicate keys)
+
+
+@settings(max_examples=40)
+@given(batch=tuple_batches(), expire_to=timestamps)
+def test_time_window_roundtrip(batch, expire_to):
+    win = TimeWindow(5.0)
+    for tup in batch:
+        win.insert(tup)
+    win.expire(expire_to)
+    roundtrip(win, TimeWindow(5.0))
+
+
+@settings(max_examples=40)
+@given(batch=tuple_batches())
+def test_count_window_roundtrip(batch):
+    win = CountWindow(7)
+    for tup in batch:
+        win.insert(tup)
+    roundtrip(win, CountWindow(7))
+
+
+@settings(max_examples=40)
+@given(batch=tuple_batches(), expire_to=timestamps)
+def test_indexed_time_window_roundtrip(batch, expire_to):
+    key_fn = lambda p: p["k"]
+    win = IndexedTimeWindow(5.0, key_fn)
+    for tup in batch:
+        win.insert(tup)
+    win.expire(expire_to)
+    restored = IndexedTimeWindow(5.0, key_fn)
+    roundtrip(win, restored)
+    # The rebuilt buckets must probe identically for every live key —
+    # including NaN keys, which can never match and probe empty.
+    for tup in batch:
+        key = key_fn(tup.payload)
+        got = [t.payload for t in restored.probe(key)]
+        want = [t.payload for t in win.probe(key)]
+        assert same({"p": got}, {"p": want})
+        if isinstance(key, float) and math.isnan(key):
+            assert got == []
+
+
+@settings(max_examples=40)
+@given(batch=tuple_batches())
+def test_indexed_count_window_roundtrip(batch):
+    key_fn = lambda p: p["k"]
+    win = IndexedCountWindow(6, key_fn)
+    for tup in batch:
+        win.insert(tup)
+    restored = IndexedCountWindow(6, key_fn)
+    roundtrip(win, restored)
+    for tup in batch:
+        key = key_fn(tup.payload)
+        assert same({"p": [t.payload for t in restored.probe(key)]},
+                    {"p": [t.payload for t in win.probe(key)]})
+
+
+# --------------------------------------------------------------------- #
+# Operators (driven through the harness into a random mid-stream state)
+
+
+def _drive(op, n_inputs, batch, punct_offsets):
+    """Feed a random interleaving of data and punctuation, then step."""
+    h = OpHarness(op, n_inputs=n_inputs)
+    frontier = 0.0
+    for i, tup in enumerate(batch):
+        h.feed(i % n_inputs, tup.ts, tup.payload)
+        frontier = tup.ts
+        if i % 3 == 0:
+            h.run()
+    for i, offset in enumerate(punct_offsets):
+        h.feed_punctuation(i % n_inputs, frontier + offset)
+    h.run()
+    return h
+
+
+operator_feeds = st.tuples(tuple_batches(),
+                           st.lists(timestamps, max_size=4).map(sorted))
+
+
+@settings(max_examples=25, deadline=None)
+@given(feed=operator_feeds)
+def test_union_roundtrip(feed):
+    batch, puncts = feed
+    op = Union("u")
+    _drive(op, 2, batch, puncts)
+    roundtrip(op, Union("u"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(feed=operator_feeds)
+def test_scan_join_roundtrip(feed):
+    batch, puncts = feed
+
+    def build():
+        return WindowJoin("j", WindowSpec.time(4.0),
+                          predicate=lambda a, b: a["seq"] % 2 == b["seq"] % 2)
+
+    op = build()
+    _drive(op, 2, batch, puncts)
+    roundtrip(op, build())
+
+
+@settings(max_examples=25, deadline=None)
+@given(feed=operator_feeds)
+def test_indexed_join_roundtrip(feed):
+    batch, puncts = feed
+
+    def build():
+        return WindowJoin("j", WindowSpec.time(4.0), key="k")
+
+    op = build()
+    assert op.indexed
+    _drive(op, 2, batch, puncts)
+    roundtrip(op, build())
+
+
+@settings(max_examples=25, deadline=None)
+@given(feed=operator_feeds)
+def test_tumbling_aggregate_roundtrip(feed):
+    batch, puncts = feed
+
+    def build():
+        return TumblingAggregate("agg", 2.0, {
+            "n": AggSpec(Count), "total": AggSpec(Sum, field="value"),
+        }, group_by="k")
+
+    op = build()
+    _drive(op, 1, batch, puncts)
+    roundtrip(op, build())
+
+
+@settings(max_examples=25, deadline=None)
+@given(feed=operator_feeds)
+def test_sliding_aggregate_roundtrip(feed):
+    batch, puncts = feed
+
+    def build():
+        return SlidingAggregate("agg", 3.0, {"n": AggSpec(Count)})
+
+    op = build()
+    _drive(op, 1, batch, puncts)
+    roundtrip(op, build())
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=tuple_batches(), shuffle_seed=st.integers(0, 2**16))
+def test_reorder_roundtrip(batch, shuffle_seed):
+    import random as _random
+    disordered = list(batch)
+    _random.Random(shuffle_seed).shuffle(disordered)
+    op = Reorder("r", 2.0)
+    h = OpHarness(op, n_inputs=1)
+    h.inputs[0]._enforce_order = False
+    for tup in disordered:
+        h.feed(0, tup.ts, tup.payload)
+    h.run()
+    roundtrip(op, Reorder("r", 2.0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(feed=operator_feeds, seed=st.integers(0, 2**16))
+def test_shed_roundtrip(feed, seed):
+    batch, puncts = feed
+    op = Shed("s", 0.5, seed=seed)
+    _drive(op, 1, batch, puncts)
+    restored = Shed("s", 0.5, seed=seed + 1)
+    roundtrip(op, restored)
+    # The restored RNG must continue the original's draw sequence.
+    assert restored._rng.random() == op._rng.random()
+
+
+@settings(max_examples=25, deadline=None)
+@given(feed=operator_feeds)
+def test_sink_roundtrip(feed):
+    batch, puncts = feed
+    op = SinkNode("sink", keep_outputs=True)
+    _drive(op, 1, batch, puncts)
+    roundtrip(op, SinkNode("sink", keep_outputs=True))
+
+
+@settings(max_examples=25)
+@given(times=st.lists(timestamps, min_size=1, max_size=15).map(sorted))
+def test_source_roundtrip(times):
+    from repro.core.graph import QueryGraph
+
+    graph = QueryGraph("g")
+    src = graph.add_source("s")
+    sink = graph.add_sink("sink")
+    graph.connect(src, sink)
+    graph.validate()
+    for ts in times:
+        src.ingest({"seq": ts}, now=ts)
+
+    graph2 = QueryGraph("g")
+    src2 = graph2.add_source("s")
+    sink2 = graph2.add_sink("sink")
+    graph2.connect(src2, sink2)
+    graph2.validate()
+    roundtrip(src, src2)
+
+
+# --------------------------------------------------------------------- #
+# ETS policies
+
+
+@settings(max_examples=25)
+@given(generated=st.integers(0, 100), declined=st.integers(0, 100))
+def test_on_demand_ets_roundtrip(generated, declined):
+    policy = OnDemandEts(external_delta=0.25)
+    policy.generated = generated
+    policy.declined = declined
+    roundtrip(policy, OnDemandEts(external_delta=0.25))
+
+
+def test_stateless_ets_policies_roundtrip():
+    roundtrip(NoEts(), NoEts())
+    roundtrip(PeriodicEtsSchedule({"a": 2.0}), PeriodicEtsSchedule({"a": 2.0}))
+    sched = AdaptiveHeartbeatSchedule({"a": "b"})
+    roundtrip(sched, AdaptiveHeartbeatSchedule({"a": "b"}))
