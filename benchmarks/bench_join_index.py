@@ -14,6 +14,11 @@ configurations, asserting:
   tracks the cardinality itself);
 * lower wall-clock at cardinality >= 16, where probe work dominates.
 
+The auto-selected (adaptive) layout is swept alongside: it must track the
+scan's probe counts below its bucket threshold (the cardinality-4 cell
+where pure bucket probing measured 0.93x) and the index's above it —
+``min(scan, indexed)`` work per cell, byte-identical output everywhere.
+
 The sweep is written to ``BENCH_join.json`` (see ``record.py``) as the
 perf-trajectory record for the indexed join.
 """
@@ -53,7 +58,7 @@ def _make_feeds(cardinality: int) -> list[tuple[int, float, dict]]:
     return feeds
 
 
-def _build(span: float, indexed: bool):
+def _build(span: float, indexed: bool | None):
     graph = QueryGraph("bench-join-index")
     fast = graph.add_source("fast")
     slow = graph.add_source("slow")
@@ -68,7 +73,7 @@ def _build(span: float, indexed: bool):
     return graph, (fast, slow), delivered
 
 
-def _drive(span: float, cardinality: int, indexed: bool,
+def _drive(span: float, cardinality: int, indexed: bool | None,
            feeds) -> tuple[float, int, int, list]:
     """One measured run: (wall s, probes examined, probes emitted, output)."""
     graph, sources, delivered = _build(span, indexed)
@@ -99,19 +104,35 @@ def test_indexed_join_probe_reduction():
             # Wall-clock: interleaved min-of-3 (noise only inflates, and
             # interleaving keeps a load spike from biasing one layout);
             # probes are deterministic so any run's counts are the counts.
-            scan_runs, idx_runs = [], []
+            scan_runs, idx_runs, ada_runs = [], [], []
             for _ in range(3):
                 scan_runs.append(_drive(span, cardinality, False, feeds))
                 idx_runs.append(_drive(span, cardinality, True, feeds))
+                ada_runs.append(_drive(span, cardinality, None, feeds))
             scan_wall, scan_probes, scan_emitted, scan_out = min(
                 scan_runs, key=lambda r: r[0])
             idx_wall, idx_probes, idx_emitted, idx_out = min(
                 idx_runs, key=lambda r: r[0])
+            ada_wall, ada_probes, ada_emitted, ada_out = min(
+                ada_runs, key=lambda r: r[0])
 
-            assert scan_out == idx_out and len(scan_out) > 0, (
+            assert scan_out == idx_out == ada_out and len(scan_out) > 0, (
                 f"span={span} cardinality={cardinality}: "
-                "indexed output diverged from scan")
-            assert idx_emitted == scan_emitted == len(scan_out)
+                "join layouts diverged")
+            assert idx_emitted == scan_emitted == ada_emitted == len(scan_out)
+            # The adaptive layout does min(scan, indexed) probe work per
+            # cell: pure scan below the bucket threshold (the 0.93x
+            # regression cell), bucket probes plus a scanned warmup prefix
+            # above it.
+            assert idx_probes <= ada_probes <= scan_probes
+            if cardinality < 8:
+                assert ada_probes == scan_probes, (
+                    f"cardinality={cardinality}: adaptive join probed "
+                    "buckets below its threshold")
+            if cardinality >= REDUCTION_CARDINALITY:
+                assert ada_probes < scan_probes, (
+                    f"cardinality={cardinality}: adaptive join never "
+                    "switched to bucket probing")
             reduction = scan_probes / idx_probes if idx_probes else float("inf")
             speedup = scan_wall / idx_wall
             rows.append({
@@ -123,6 +144,9 @@ def test_indexed_join_probe_reduction():
                 "indexed": {"wall_s": round(idx_wall, 4),
                             "probes_examined": idx_probes,
                             "tuples_per_s": round(total / idx_wall)},
+                "adaptive": {"wall_s": round(ada_wall, 4),
+                             "probes_examined": ada_probes,
+                             "tuples_per_s": round(total / ada_wall)},
                 "probes_emitted": idx_emitted,
                 "probe_reduction": round(reduction, 2),
                 "wall_speedup": round(speedup, 2),
@@ -130,7 +154,9 @@ def test_indexed_join_probe_reduction():
             print(f"  span={span:>4}s card={cardinality:>3}: "
                   f"probes {scan_probes:>9,} -> {idx_probes:>9,} "
                   f"({reduction:5.1f}x), wall {scan_wall * 1e3:7.1f} -> "
-                  f"{idx_wall * 1e3:7.1f} ms ({speedup:.2f}x)")
+                  f"{idx_wall * 1e3:7.1f} ms ({speedup:.2f}x), "
+                  f"adaptive {ada_probes:>9,} probes "
+                  f"{ada_wall * 1e3:7.1f} ms")
             if cardinality >= REDUCTION_CARDINALITY:
                 assert reduction >= MIN_PROBE_REDUCTION, (
                     f"span={span} cardinality={cardinality}: probe "

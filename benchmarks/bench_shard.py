@@ -1,0 +1,152 @@
+"""Bench X9: sharded-engine throughput vs shard count P.
+
+Not a paper artefact — this measures the reproduction's own sharding
+layer.  The workload is a keyed *scan* join (``indexed=False``): each
+probing tuple examines the whole opposite window, O(window) per probe.
+Key-partitioning over P shards shrinks every shard's window by ~P, so
+total probe work drops by ~P — an *algorithmic* win that survives the
+GIL, which is why the thread backend must show it despite running
+pure-Python bytecode under one interpreter lock.
+
+The sweep drives P ∈ {1, 2, 4, 8} on the thread backend (plus a smaller
+process-backend set, which pays fork + pipe serialization per wake-up) and
+asserts:
+
+* identical canonicalized deliveries for every (P, backend) — the oracle
+  in ``tests/test_sharded_oracle.py`` proves this exhaustively; here it
+  doubles as a sanity check on the measured runs;
+* >= 1.5x throughput at P=4 on the thread backend vs the single-shard
+  baseline (>= 1.2x in ``REPRO_BENCH_SMOKE`` mode, where the workload is
+  cut down for CI and scheduler noise looms larger).
+
+Results land in ``BENCH_shard.json`` (see ``record.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.core.graph import QueryGraph
+from repro.core.operators import WindowJoin
+from repro.core.windows import WindowSpec
+from repro.shard import ShardedEngine
+
+from record import record_bench
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+TUPLES_PER_SIDE = 500 if SMOKE else 1_500
+PERIOD = 0.01              # 100 tuples/s per side
+SPAN = 8.0                 # ~800 live tuples per window side, unsharded
+CHUNK = 64                 # arrivals ingested between facade wake-ups
+CARDINALITY = 256          # plenty of keys for an even partition
+THREAD_PS = (1, 2, 4) if SMOKE else (1, 2, 4, 8)
+PROCESS_PS = (2,) if SMOKE else (2, 4)
+REPEATS = 1 if SMOKE else 2
+MIN_SPEEDUP_P4 = 1.2 if SMOKE else 1.5
+
+
+def build() -> QueryGraph:
+    graph = QueryGraph("bench-shard")
+    fast = graph.add_source("fast")
+    slow = graph.add_source("slow")
+    join = graph.add(WindowJoin("join", WindowSpec.time(SPAN), key="k",
+                                indexed=False))
+    sink = graph.add_sink("sink")
+    graph.connect(fast, join)
+    graph.connect(slow, join)
+    graph.connect(join, sink)
+    return graph
+
+
+def make_feeds() -> list[tuple[str, float, dict]]:
+    rng = random.Random(1129)
+    feeds = []
+    for i in range(TUPLES_PER_SIDE):
+        base = i * PERIOD
+        feeds.append(("fast", base, {"seq": i, "k": rng.randrange(CARDINALITY),
+                                     "value": rng.random()}))
+        feeds.append(("slow", base + PERIOD / 2,
+                      {"seq": i, "k": rng.randrange(CARDINALITY),
+                       "value": rng.random()}))
+    feeds.sort(key=lambda f: f[1])
+    return feeds
+
+
+def drive(feeds, *, shards: int, backend: str) -> tuple[float, list]:
+    """One measured run: (wall seconds, canonicalized deliveries)."""
+    engine = ShardedEngine(build, shards=shards, key="k", backend=backend)
+    released = []
+    start = time.perf_counter()
+    try:
+        now = 0.0
+        for base in range(0, len(feeds), CHUNK):
+            for source, when, payload in feeds[base:base + CHUNK]:
+                engine.ingest(source, payload, time=when)
+                now = when
+            released.extend(engine.wakeup())
+        for source in ("fast", "slow"):
+            engine.inject_punctuation(source, now + 1.0,
+                                      origin=f"bench-eos:{source}")
+        released.extend(engine.wakeup())
+    finally:
+        released.extend(engine.close(flush=True))
+    elapsed = time.perf_counter() - start
+    canonical = sorted((ts, sink, repr(payload))
+                       for ts, _, _, sink, payload in released)
+    return elapsed, canonical
+
+
+def test_sharded_throughput_scales():
+    feeds = make_feeds()
+    total = len(feeds)
+    configs = [("thread", p) for p in THREAD_PS]
+    configs += [("process", p) for p in PROCESS_PS]
+
+    print(f"\nX9 — sharded scan-join throughput "
+          f"({total:,} tuples{' [smoke]' if SMOKE else ''}):")
+    base_wall, reference = drive(feeds, shards=1, backend="serial")
+    for _ in range(REPEATS - 1):
+        wall, _ = drive(feeds, shards=1, backend="serial")
+        base_wall = min(base_wall, wall)
+    base_tps = total / base_wall
+    print(f"  serial  P=1: {base_wall * 1e3:8.1f} ms "
+          f"({base_tps:9,.0f} tuples/s)  [baseline]")
+
+    rows = [{"backend": "serial", "shards": 1,
+             "wall_s": round(base_wall, 4), "tuples_per_s": round(base_tps),
+             "speedup": 1.0, "delivered": len(reference)}]
+    walls = {}
+    for backend, shards in configs:
+        wall, canonical = drive(feeds, shards=shards, backend=backend)
+        for _ in range(REPEATS - 1):
+            again, _ = drive(feeds, shards=shards, backend=backend)
+            wall = min(wall, again)
+        assert canonical == reference, (
+            f"{backend} P={shards} diverged from the single-shard run")
+        walls[(backend, shards)] = wall
+        speedup = base_wall / wall
+        rows.append({"backend": backend, "shards": shards,
+                     "wall_s": round(wall, 4),
+                     "tuples_per_s": round(total / wall),
+                     "speedup": round(speedup, 2),
+                     "delivered": len(canonical)})
+        print(f"  {backend:>7} P={shards}: {wall * 1e3:8.1f} ms "
+              f"({total / wall:9,.0f} tuples/s)  {speedup:.2f}x")
+
+    assert reference, "no deliveries — the workload proves nothing"
+    speedup_p4 = base_wall / walls[("thread", 4)] if ("thread", 4) in walls \
+        else base_wall / walls[("thread", max(THREAD_PS))]
+    assert speedup_p4 >= MIN_SPEEDUP_P4, (
+        f"thread backend at P=4 reached only {speedup_p4:.2f}x "
+        f"(need >= {MIN_SPEEDUP_P4}x): the partition-pruned scan-join "
+        f"win regressed")
+
+    record_bench(
+        "shard", rows,
+        workload={"tuples_per_side": TUPLES_PER_SIDE, "period_s": PERIOD,
+                  "window_span_s": SPAN, "key_cardinality": CARDINALITY,
+                  "ingest_chunk": CHUNK, "smoke": SMOKE},
+        thresholds={"min_speedup_at_p4_thread": MIN_SPEEDUP_P4})

@@ -25,6 +25,8 @@ The surface is grouped as:
 * **observability** — the :mod:`repro.obs` event bus, metrics registry,
   and exporters;
 * **faults** — fault plans and the degradation ladder;
+* **sharding** — the key-partitioned :class:`ShardedEngine` and its
+  frontier-tracking machinery;
 * **workloads & experiments** — arrival processes, scenario builders, and
   the paper-figure harnesses.
 """
@@ -154,6 +156,18 @@ from .recovery import (
     WriteAheadLog,
 )
 
+# --- sharding -------------------------------------------------------------- #
+from .shard import (
+    FrontierMerge,
+    FrontierTracker,
+    HashPartitioner,
+    ShardError,
+    ShardTimeoutError,
+    ShardedEngine,
+    ShardedRecoveryReport,
+    ShardedSimulation,
+)
+
 # --- workloads ------------------------------------------------------------- #
 from .workloads import (
     SCENARIOS,
@@ -238,6 +252,10 @@ __all__ = [
     # recovery
     "CheckpointInfo", "CheckpointStore", "CheckpointWriter",
     "RecoveryManager", "RecoveryReport", "WriteAheadLog",
+    # sharding
+    "FrontierMerge", "FrontierTracker", "HashPartitioner", "ShardError",
+    "ShardTimeoutError", "ShardedEngine", "ShardedRecoveryReport",
+    "ShardedSimulation",
     # workloads
     "SCENARIOS", "ScenarioConfig", "ScenarioHandles",
     "build_join_scenario", "build_union_scenario", "bursty_arrivals",

@@ -22,6 +22,7 @@ import argparse
 import json
 import random
 import sys
+import time
 from typing import Sequence
 
 from .api import (
@@ -32,6 +33,11 @@ from .api import (
     MetricsRegistry,
     NoEts,
     OnDemandEts,
+    QueryGraph,
+    ShardedEngine,
+    TimestampKind,
+    WindowJoin,
+    WindowSpec,
     PeriodicEtsSchedule,
     ReproError,
     ScenarioConfig,
@@ -181,6 +187,35 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--no-fsync", action="store_true",
                          help="skip fsync on WAL appends (faster, less "
                               "durable tail)")
+
+    shard = sub.add_parser(
+        "shard",
+        help="run a keyed window-join workload on the sharded engine and "
+             "verify its merged output against a single-engine run")
+    shard.add_argument("--shards", type=int, default=4)
+    shard.add_argument("--backend", choices=("serial", "thread", "process"),
+                       default="thread")
+    shard.add_argument("--tuples", type=int, default=4000,
+                       help="total tuples fed across both join inputs")
+    shard.add_argument("--rate", type=float, default=100.0,
+                       help="arrivals per stream-second")
+    shard.add_argument("--cardinality", type=int, default=64,
+                       help="distinct join keys")
+    shard.add_argument("--span", type=float, default=2.0,
+                       help="join window span in stream seconds")
+    shard.add_argument("--batch-size", type=int, default=8)
+    shard.add_argument("--chunk", type=int, default=32,
+                       help="arrivals routed between engine wake-ups")
+    shard.add_argument("--ets", choices=("none", "on-demand"),
+                       default="none")
+    shard.add_argument("--seed", type=int, default=42)
+    shard.add_argument("--indexed", action="store_true",
+                       help="force the hash-indexed join layout "
+                            "(default: adaptive auto-selection)")
+    shard.add_argument("--no-verify", action="store_true",
+                       help="skip the single-engine differential check")
+    shard.add_argument("--timeout", type=float, default=60.0,
+                       help="per-shard operation timeout in seconds")
 
     def _add_obs_scenario_args(p: argparse.ArgumentParser,
                                default_duration: float) -> None:
@@ -382,6 +417,82 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         fsync=not args.no_fsync)
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    dt = 1.0 / args.rate
+    feeds = []
+    for i in range(args.tuples):
+        t = (i + 1) * dt
+        payload = {"key": rng.randrange(args.cardinality), "seq": i}
+        feeds.append(("L" if i % 2 == 0 else "R", t, payload, t))
+
+    def build() -> QueryGraph:
+        graph = QueryGraph("sharded-join")
+        left = graph.add_source("L", TimestampKind.EXTERNAL)
+        right = graph.add_source("R", TimestampKind.EXTERNAL)
+        join = graph.add(WindowJoin(
+            "join", WindowSpec.time(args.span), key="key",
+            indexed=True if args.indexed else None))
+        graph.connect(left, join)
+        graph.connect(right, join)
+        graph.connect(join, graph.add_sink("out"))
+        return graph
+
+    def policy():
+        return OnDemandEts() if args.ets == "on-demand" else NoEts()
+
+    def drive(shards: int, backend: str, observers=None):
+        engine = ShardedEngine(
+            build, shards=shards, key="key", backend=backend,
+            ets_policy_factory=policy, batch_size=args.batch_size,
+            observers=observers, op_timeout=args.timeout)
+        started = time.perf_counter()
+        records = []
+        for index, (source, t, payload, ts) in enumerate(feeds):
+            engine.ingest(source, payload, time=t, ts=ts)
+            if (index + 1) % args.chunk == 0:
+                records.extend(engine.wakeup())
+        final_ts = feeds[-1][1] + 1.0
+        for name in ("L", "R"):
+            engine.inject_punctuation(name, final_ts, origin=f"eos:{name}")
+        records.extend(engine.wakeup())
+        wall = time.perf_counter() - started
+        summary = engine.summary()
+        records.extend(engine.close(flush=True))
+        return records, wall, summary
+
+    registry = MetricsRegistry()
+    records, wall, summary = drive(args.shards, args.backend,
+                                   observers=[registry])
+    print(f"sharded run: P={args.shards} backend={args.backend} "
+          f"ets={args.ets} batch={args.batch_size}")
+    print(f"  {args.tuples} tuples in {wall:.3f}s wall "
+          f"({args.tuples / wall:,.0f} tuples/s), "
+          f"{len(records)} records merged, "
+          f"frontier spread {summary['frontier_spread']:.3f}")
+    print(f"  {'shard':>5} {'ingested':>9} {'delivered':>10} "
+          f"{'frontier':>9}")
+    for row in summary["per_shard"]:
+        print(f"  {row['shard']:>5} {row['ingested']:>9} "
+              f"{row['delivered']:>10} {row['frontier']:>9.2f}")
+    released = registry.shard_released.total
+    print(f"  repro_shard_released_total {released:g}")
+    if args.no_verify:
+        return 0
+    reference, ref_wall, _ = drive(1, "serial")
+
+    def canonical(rows):
+        return sorted((r[3], r[0], repr(r[4])) for r in rows)
+
+    if canonical(records) != canonical(reference):
+        print(f"DIVERGED: sharded produced {len(records)} records, "
+              f"single engine {len(reference)}", file=sys.stderr)
+        return 1
+    print(f"  verified: merged output equals single-engine run "
+          f"({len(reference)} records; single-engine wall {ref_wall:.3f}s)")
+    return 0
+
+
 def _obs_config(args: argparse.Namespace, observers: list) -> ScenarioConfig:
     return ScenarioConfig(
         scenario=args.name, duration=args.duration, seed=args.seed,
@@ -492,6 +603,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "validate": _cmd_validate,
         "chaos": _cmd_chaos,
         "recover": _cmd_recover,
+        "shard": _cmd_shard,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "run": _cmd_run,

@@ -129,6 +129,23 @@ class WindowJoin(Operator):
             ablation); True demands the fast path and raises
             :class:`ExecutionError` when the join is not eligible.
             Indexed joins require hashable key values.
+        adaptive: Per-probe layout choice for indexed joins.  At low key
+            cardinality a bucket probe loses to the plain scan (the bucket
+            *is* most of the window, and the hash lookup is pure overhead —
+            BENCH_join.json measures 0.93x at cardinality 4), so an adaptive
+            join consults the opposite window's live ``bucket_count`` before
+            each probe and falls back to the scan walk while it sits below
+            ``adaptive_threshold``.  Both paths yield candidates in
+            insertion order, so outputs stay byte-identical either way.
+            None (default) enables adaptivity exactly when the *layout* was
+            auto-selected (``indexed=None``); an explicit ``indexed=True``
+            pins pure bucket probing unless ``adaptive=True`` is also
+            passed.  ``adaptive=True`` on a join that is not
+            indexed-eligible raises :class:`ExecutionError`.
+        adaptive_threshold: Live-bucket count at or above which the
+            adaptive join probes buckets instead of scanning (default 8 —
+            above the measured break-even of the benchmark's cardinality
+            sweep).
     """
 
     is_iwp = True
@@ -142,6 +159,8 @@ class WindowJoin(Operator):
                  combiner: Callable[[Any, Any], Any] = merge_payloads,
                  strict: bool = False,
                  indexed: bool | None = None,
+                 adaptive: bool | None = None,
+                 adaptive_threshold: int = 8,
                  output_schema=None) -> None:
         super().__init__(name, output_schema=output_schema)
         if window is None and window_left is None and window_right is None:
@@ -166,6 +185,21 @@ class WindowJoin(Operator):
                 "windows on both sides, and non-strict gating"
             )
         self.indexed = eligible if indexed is None else bool(indexed and eligible)
+        if adaptive is True and not self.indexed:
+            raise ExecutionError(
+                f"join {name!r}: adaptive=True requires an indexed-eligible "
+                "join (key columns, windows on both sides, non-strict gating)"
+            )
+        if adaptive_threshold < 0:
+            raise ExecutionError(
+                f"join {name!r}: adaptive_threshold must be >= 0, "
+                f"got {adaptive_threshold}"
+            )
+        # Adaptivity defaults on only when the layout itself was
+        # auto-selected; an explicit indexed=True is a pinned choice.
+        self.adaptive = (self.indexed and indexed is None
+                         if adaptive is None else bool(adaptive))
+        self.adaptive_threshold = adaptive_threshold
         if self.indexed:
             left_key, right_key = self.key_fields
             self.windows: list[TimeWindow | CountWindow | IndexedTimeWindow
@@ -194,6 +228,8 @@ class WindowJoin(Operator):
         self._last_emitted_ts = LATENT_TS
         self._gate_cache: tuple[list[float], float] | None = None
         self.matches_emitted = 0
+        self.indexed_probes = 0
+        self.scan_probes = 0
         self.punctuation_consumed = 0
         self.punctuation_forwarded = 0
         self.punctuation_suppressed = 0
@@ -265,6 +301,13 @@ class WindowJoin(Operator):
         """Total tuples currently stored across both window buffers."""
         return len(self.windows[0]) + len(self.windows[1])
 
+    @property
+    def probe_mode(self) -> str:
+        """The configured probing strategy: scan, indexed, or adaptive."""
+        if not self.indexed:
+            return "scan"
+        return "adaptive" if self.adaptive else "indexed"
+
     # ------------------------------------------------------------------ #
     # Checkpoint / restore
 
@@ -282,6 +325,8 @@ class WindowJoin(Operator):
             ],
             "last_emitted_ts": self._last_emitted_ts,
             "matches_emitted": self.matches_emitted,
+            "indexed_probes": self.indexed_probes,
+            "scan_probes": self.scan_probes,
             "punctuation_consumed": self.punctuation_consumed,
             "punctuation_forwarded": self.punctuation_forwarded,
             "punctuation_suppressed": self.punctuation_suppressed,
@@ -303,6 +348,9 @@ class WindowJoin(Operator):
         self._last_emitted_ts = state["last_emitted_ts"]
         self._gate_cache = None
         self.matches_emitted = state["matches_emitted"]
+        # Probe-path counters postdate version 1; old snapshots lack them.
+        self.indexed_probes = state.get("indexed_probes", 0)
+        self.scan_probes = state.get("scan_probes", 0)
         self.punctuation_consumed = state["punctuation_consumed"]
         self.punctuation_forwarded = state["punctuation_forwarded"]
         self.punctuation_suppressed = state["punctuation_suppressed"]
@@ -353,16 +401,26 @@ class WindowJoin(Operator):
         # Expire against the probing tuple's timestamp (Kang et al. order:
         # probe happens against the still-valid window contents).
         other_window.expire(tup.ts)
-        if self.indexed:
+        if self.indexed and (
+                not self.adaptive
+                or other_window.bucket_count >= self.adaptive_threshold):
             # Equality fast path: the opposite window is key-partitioned, so
             # only the matching bucket is examined.  Bucket membership *is*
             # the key equality check, leaving just the caller's residual
             # predicate per candidate.
             candidates = other_window.probe(tup.payload[self.key_fields[idx]])
             predicate = self.base_predicate
+            self.indexed_probes += 1
         else:
+            # Scan walk — either the scan layout, or an adaptive indexed
+            # join whose opposite window holds too few live buckets for the
+            # hash lookup to pay for itself.  Indexed windows expose the
+            # same matches() contract (every live tuple, timestamp order),
+            # and self.predicate carries the key-equality check, so both
+            # paths emit identical results.
             candidates = other_window.matches(tup.ts)
             predicate = self.predicate
+            self.scan_probes += 1
         probes = 0
         emitted = 0
         for candidate in candidates:

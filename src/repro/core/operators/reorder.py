@@ -72,6 +72,15 @@ class Reorder(Operator):
     def pending(self) -> int:
         return len(self._heap)
 
+    def frontier_floor(self) -> float | None:
+        """Earliest parked timestamp, or None when the heap is empty.
+
+        Part of the sharding frontier protocol (:mod:`repro.shard`): a
+        parked tuple may be emitted below the source horizon later, so a
+        shard's advertised frontier must not pass it.
+        """
+        return self._heap[0][0] if self._heap else None
+
     # ------------------------------------------------------------------ #
     # Checkpoint / restore
 

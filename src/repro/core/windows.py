@@ -34,7 +34,12 @@ index splits the work:
   **lazily** against the global horizon the moment it is probed.  A tuple is
   popped from its bucket exactly once, after it expired, so the lazy purges
   are O(dropped) amortized across a run, and an unprobed bucket costs no
-  CPU at all.
+  CPU at all;
+* a **backstop sweep** purges every bucket once enough expirations have
+  accumulated (at least ``max(64, live tuples)`` since the last sweep), so
+  buckets that are *never* probed — an adaptive join that stays on the scan
+  path probes no bucket at all — cannot retain expired tuples indefinitely.
+  The sweep's cost is amortized against the expirations that triggered it.
 """
 
 from __future__ import annotations
@@ -260,7 +265,7 @@ class IndexedTimeWindow:
     horizon (see the module docstring for the amortization argument).
     """
 
-    __slots__ = ("span", "key_fn", "_items", "_buckets", "_horizon")
+    __slots__ = ("span", "key_fn", "_items", "_buckets", "_horizon", "_stale")
 
     def __init__(self, span: float, key_fn: KeyFn) -> None:
         if span <= 0:
@@ -270,6 +275,7 @@ class IndexedTimeWindow:
         self._items: deque[DataTuple] = deque()
         self._buckets: dict[Any, deque[DataTuple]] = {}
         self._horizon = float("-inf")
+        self._stale = 0  # drops since the last backstop sweep
 
     def __len__(self) -> int:
         return len(self._items)
@@ -311,7 +317,23 @@ class IndexedTimeWindow:
         while items and items[0].ts < horizon:
             items.popleft()
             dropped += 1
+        if dropped:
+            self._stale += dropped
+            if self._stale >= max(64, len(items)):
+                self._sweep()
         return dropped
+
+    def _sweep(self) -> None:
+        """Purge every bucket against the horizon (the backstop of the
+        module docstring's amortization scheme, for never-probed buckets)."""
+        self._stale = 0
+        horizon = self._horizon
+        for key in list(self._buckets):
+            bucket = self._buckets[key]
+            while bucket and bucket[0].ts < horizon:
+                bucket.popleft()
+            if not bucket:
+                del self._buckets[key]
 
     def matches(self, probe_ts: float) -> Iterator[DataTuple]:
         """Scan-compatible probing: every live tuple, in timestamp order."""
@@ -354,6 +376,7 @@ class IndexedTimeWindow:
             raise ReproError(f"unsupported IndexedTimeWindow state: {state!r}")
         self._items = deque(state["items"])
         self._horizon = state["horizon"]
+        self._stale = 0
         self._buckets = {}
         for tup in self._items:
             key = _hash_key(self.key_fn(tup.payload), "IndexedTimeWindow")
@@ -372,7 +395,8 @@ class IndexedCountWindow:
     lazily discard entries that the global ring has already evicted.
     """
 
-    __slots__ = ("size", "key_fn", "_items", "_buckets", "_inserted")
+    __slots__ = ("size", "key_fn", "_items", "_buckets", "_inserted",
+                 "_swept_at")
 
     def __init__(self, size: int, key_fn: KeyFn) -> None:
         if size <= 0:
@@ -382,6 +406,7 @@ class IndexedCountWindow:
         self._items: deque[DataTuple] = deque(maxlen=self.size)
         self._buckets: dict[Any, deque[tuple[int, DataTuple]]] = {}
         self._inserted = 0
+        self._swept_at = 0  # insertion count at the last backstop sweep
 
     def __len__(self) -> int:
         return len(self._items)
@@ -404,6 +429,21 @@ class IndexedCountWindow:
             if bucket is None:
                 bucket = self._buckets[key] = deque()
             bucket.append((self._inserted, tup))
+        if self._inserted - self._swept_at >= max(64, self.size):
+            self._sweep()
+
+    def _sweep(self) -> None:
+        """Purge every bucket of globally evicted entries (the backstop of
+        the module docstring's amortization scheme, for never-probed
+        buckets)."""
+        self._swept_at = self._inserted
+        oldest_live = self._inserted - self.size
+        for key in list(self._buckets):
+            bucket = self._buckets[key]
+            while bucket and bucket[0][0] <= oldest_live:
+                bucket.popleft()
+            if not bucket:
+                del self._buckets[key]
 
     def expire(self, now: float) -> int:
         """Count windows expire by insertion, so this is a no-op."""
@@ -446,6 +486,7 @@ class IndexedCountWindow:
         items = state["items"]
         self._items = deque(items, maxlen=self.size)
         self._inserted = state["inserted"]
+        self._swept_at = self._inserted
         self._buckets = {}
         base = self._inserted - len(items)
         for i, tup in enumerate(items):

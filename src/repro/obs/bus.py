@@ -43,6 +43,7 @@ HOOKS = (
     "on_quiesce",
     "on_checkpoint",
     "on_recovery",
+    "on_shard",
 )
 
 
@@ -131,6 +132,19 @@ class Observer:
         corrupted file.
         """
 
+    def on_shard(self, *, kind: str, shard: int, time: float,
+                 frontier: float | None = None, count: int = 0,
+                 detail: str = "") -> None:
+        """A sharded-engine event (:mod:`repro.shard`).
+
+        ``kind`` is ``"ingest"`` (``count`` tuples routed to ``shard``),
+        ``"wakeup"`` (``shard`` quiesced advertising ``frontier``, having
+        delivered ``count`` records), ``"frontier"`` (``shard`` is ``-1``:
+        the global min frontier moved and ``count`` records were released
+        by the merge), or ``"recovery"`` (``shard`` was restored to
+        ``frontier`` after replaying ``count`` ingests).
+        """
+
 
 class EventBus:
     """Fans events out to registered observers, isolating their failures.
@@ -210,6 +224,9 @@ class EventBus:
 
     def recovery(self, **kw) -> None:
         self._emit("on_recovery", kw)
+
+    def shard(self, **kw) -> None:
+        self._emit("on_shard", kw)
 
 
 class NullBus(EventBus):

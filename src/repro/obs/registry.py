@@ -242,6 +242,22 @@ class MetricsRegistry(Observer):
                             "Recoveries from disk, by outcome label")
         self.recovery_last = g("repro_recovery_last",
                                "Figures of the most recent recovery")
+        self.shard_ingest = c("repro_shard_ingest_total",
+                              "Tuples routed to each shard by the shuffle")
+        self.shard_outputs = c("repro_shard_outputs_total",
+                               "Records delivered by each shard's sinks")
+        self.shard_wakeups = c("repro_shard_wakeups_total",
+                               "Per-shard wake-ups run by the backend")
+        self.shard_released = c(
+            "repro_shard_released_total",
+            "Records released downstream by the frontier merge")
+        self.shard_frontier = g("repro_shard_frontier",
+                                "Advertised frontier per shard "
+                                "(shard=global is the min gate)")
+        self.shard_recoveries = c("repro_shard_recoveries_total",
+                                  "Per-shard recoveries from disk")
+        self.shard_stat = g("repro_shard_stat",
+                            "Absorbed end-of-run sharded-engine figures")
         # Absorbed end-of-run aggregates.
         self.idle_wait = g("repro_idle_wait_seconds",
                            "Idle-waiting time per IWP operator")
@@ -355,6 +371,25 @@ class MetricsRegistry(Observer):
         self.recovery_last.set(suppressed, field="suppressed")
         self.recovery_last.set(duration, field="duration_seconds")
 
+    def on_shard(self, *, kind, shard, time, frontier=None, count=0,
+                 detail="") -> None:
+        if kind == "ingest":
+            self.shard_ingest.inc(count, shard=shard)
+        elif kind == "wakeup":
+            self.shard_wakeups.inc(shard=shard)
+            if count:
+                self.shard_outputs.inc(count, shard=shard)
+            if frontier is not None and frontier == frontier \
+                    and frontier != float("-inf"):
+                self.shard_frontier.set(frontier, shard=shard)
+        elif kind == "frontier":
+            if count:
+                self.shard_released.inc(count)
+            if frontier is not None and frontier != float("-inf"):
+                self.shard_frontier.set(frontier, shard="global")
+        elif kind == "recovery":
+            self.shard_recoveries.inc(shard=shard)
+
     # ------------------------------------------------------------------ #
     # Derived figures
 
@@ -406,6 +441,21 @@ class MetricsRegistry(Observer):
                     self.queue.set(depth, field="depth", buffer=buf)
             else:
                 self.queue.set(value, field=name)
+        return self
+
+    def absorb_sharded(self, engine) -> "MetricsRegistry":
+        """Fold a :class:`~repro.shard.ShardedEngine` summary in."""
+        summary = engine.summary()
+        for name in ("ingested", "wakeups", "released", "pending",
+                     "frontier_spread"):
+            self.shard_stat.set(summary[name], field=name)
+        for row in summary["per_shard"]:
+            self.shard_stat.set(row["ingested"], field="ingested",
+                                shard=row["shard"])
+            self.shard_stat.set(row["delivered"], field="delivered",
+                                shard=row["shard"])
+            if row["frontier"] != float("-inf"):
+                self.shard_frontier.set(row["frontier"], shard=row["shard"])
         return self
 
     def absorb_simulation(self, sim: "Simulation") -> "MetricsRegistry":

@@ -1,0 +1,406 @@
+"""Shard execution backends: one engine per shard, three ways to drive them.
+
+An :class:`EngineShard` owns a full copy of the query graph — its own
+:class:`~repro.core.execution.ExecutionEngine`, virtual clock, ETS policy
+instance, sink captures, and (optionally) a
+:class:`~repro.recovery.RecoveryManager` rooted in a per-shard state
+directory.  Backends only differ in *where* ``EngineShard.apply`` runs:
+
+* :class:`SerialBackend` — in the caller's thread, shard by shard.  The
+  reference semantics; the other two backends must be observationally
+  identical to it (shards share no state, so execution order between
+  shards cannot matter).
+* :class:`ThreadBackend` — a thread pool, one task per shard per wake-up.
+  Under the GIL this does not parallelize pure-Python CPU; the sharding
+  win it ships is *algorithmic* (per-shard window state shrinks by ~P, so
+  total scan-join probe work drops by ~P — see ``BENCH_shard.json``).
+* :class:`ProcessBackend` — forked worker processes speaking a small
+  command protocol over pipes.  Every receive carries a timeout so a
+  deadlocked or dead shard fails the caller fast
+  (:class:`ShardTimeoutError`) instead of hanging the suite.
+
+All backends run with ``cost_model=None``: virtual time is driven by the
+feed schedule alone, which is what makes sharded output bit-comparable to
+a single-engine run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from ..core.errors import ReproError
+from ..core.ets import EtsPolicy, NoEts
+from ..core.execution import ExecutionEngine
+from ..sim.clock import VirtualClock
+from .frontier import shard_frontier
+
+__all__ = ["EngineShard", "ShardResult", "ShardError", "ShardTimeoutError",
+           "SerialBackend", "ThreadBackend", "ProcessBackend",
+           "make_backend", "BACKENDS"]
+
+#: (source, payload, arrival_time, external_ts) — one routed ingest.
+IngestCommand = tuple[str, Any, float, float | None]
+#: (source, ts, origin, periodic) — one broadcast punctuation.
+PunctuationCommand = tuple[str, float, str, bool]
+
+
+class ShardError(ReproError):
+    """A shard failed executing a command."""
+
+
+class ShardTimeoutError(ShardError):
+    """A shard did not answer within the backend's operation timeout."""
+
+
+@dataclass(slots=True)
+class ShardResult:
+    """What one shard reports after applying a wake-up's commands."""
+
+    shard: int
+    outputs: list[tuple[str, float, Any]]
+    frontier: float
+    ingested: int = 0
+    punctuated: int = 0
+    rounds: int = 0
+    steps: int = 0
+
+
+@dataclass(slots=True)
+class ShardSummary:
+    """End-of-run figures for one shard."""
+
+    shard: int
+    ingested: int
+    delivered: int
+    frontier: float
+    stats: dict = field(default_factory=dict)
+
+
+class EngineShard:
+    """One shard: a private graph + engine + clock (+ recovery manager).
+
+    Args:
+        index: The shard's position in ``[0, P)``.
+        build: Zero-argument factory returning a fresh
+            :class:`~repro.core.graph.QueryGraph`; every shard gets its own
+            copy, so the factory must not share operator state between
+            calls.
+        ets_policy_factory: Per-shard ETS policy factory (policies hold
+            state and cannot be shared across engines); None means
+            :class:`NoEts`.
+        batch_size: Micro-batch width forwarded to the engine.
+        state_dir: When set, a :class:`RecoveryManager` is bound here and
+            every ingest/punctuation/wake-up is WAL-logged.
+        checkpoint_every: Checkpoint cadence in engine rounds (forwarded).
+        disorder_bound: Slack subtracted from out-of-order sources'
+            horizons when computing the frontier.
+    """
+
+    def __init__(self, index: int, build: Callable[[], Any], *,
+                 ets_policy_factory: Callable[[], EtsPolicy] | None = None,
+                 batch_size: int = 1,
+                 state_dir: str | Path | None = None,
+                 checkpoint_every: int | None = None,
+                 disorder_bound: float = 0.0) -> None:
+        from ..recovery import RecoveryManager
+
+        self.index = index
+        self.graph = build()
+        self.clock = VirtualClock()
+        self.disorder_bound = disorder_bound
+        policy = ets_policy_factory() if ets_policy_factory else NoEts()
+        self.engine = ExecutionEngine(
+            self.graph, self.clock, cost_model=None, ets_policy=policy,
+            batch_size=batch_size, checkpoint_every=checkpoint_every)
+        self._outputs: list[tuple[str, float, Any]] = []
+        for sink in sorted(self.graph.sinks(), key=lambda s: s.name):
+            self._wrap_sink(sink)
+        self.sources = {src.name: src for src in self.graph.sources()}
+        self.ingested = 0
+        self.delivered = 0
+        self.manager = None
+        if state_dir is not None:
+            self.manager = RecoveryManager(state_dir).bind(
+                self.graph, self.engine, self.clock)
+
+    def _wrap_sink(self, sink) -> None:
+        previous = sink.on_output
+        outputs = self._outputs
+        name = sink.name
+        shard = self
+
+        def record(tup, latency) -> None:
+            outputs.append((name, tup.ts, tup.payload))
+            shard.delivered += 1
+            if previous is not None:
+                previous(tup, latency)
+
+        sink.on_output = record
+
+    # ------------------------------------------------------------------ #
+    # Command execution (runs in the caller's thread or a worker process)
+
+    def apply(self, ingests: Sequence[IngestCommand],
+              punctuations: Sequence[PunctuationCommand],
+              now: float) -> ShardResult:
+        """Ingest routed tuples, broadcast punctuation, run to quiescence.
+
+        An idle shard (no commands) only advances its clock — its frontier
+        still moves for internally stamped sources, which is what keeps a
+        key-skewed workload from pinning the global gate, without paying a
+        WAL wake-up record per idle shard.
+        """
+        entry = None
+        for source, payload, arrival, external_ts in ingests:
+            self.clock.advance_to(arrival)
+            src = self.sources[source]
+            src.ingest(payload, now=self.clock.now(), ts=external_ts,
+                       arrival=arrival)
+            entry = src
+            self.ingested += 1
+        for source, ts, origin, periodic in punctuations:
+            self.sources[source].inject_punctuation(
+                ts, origin=origin, periodic=periodic)
+        self.clock.advance_to(now)
+        if ingests or punctuations:
+            self.engine.wakeup(entry)
+        # The sink captures close over the list object, so drain in place.
+        drained = list(self._outputs)
+        self._outputs.clear()
+        return ShardResult(
+            shard=self.index, outputs=drained, frontier=self.frontier(),
+            ingested=len(ingests), punctuated=len(punctuations),
+            rounds=self.engine.stats.rounds, steps=self.engine.stats.steps)
+
+    def frontier(self) -> float:
+        return shard_frontier(self.graph, self.clock,
+                              disorder_bound=self.disorder_bound)
+
+    def checkpoint(self):
+        if self.manager is None:
+            raise ShardError(f"shard {self.index} has no state_dir")
+        return self.manager.checkpoint()
+
+    def recover(self):
+        if self.manager is None:
+            raise ShardError(f"shard {self.index} has no state_dir")
+        report = self.manager.recover()
+        self.ingested = sum(report.ingests_by_source.values())
+        return report
+
+    def summary(self) -> ShardSummary:
+        return ShardSummary(shard=self.index, ingested=self.ingested,
+                            delivered=self.delivered,
+                            frontier=self.frontier(),
+                            stats=self.engine.stats.as_dict())
+
+    def close(self) -> None:
+        if self.manager is not None:
+            self.manager.close()
+
+
+class SerialBackend:
+    """Run every shard inline, in index order — the reference backend."""
+
+    kind = "serial"
+
+    def __init__(self, shard_count: int, make_shard: Callable[[int],
+                 EngineShard], *, op_timeout: float = 60.0) -> None:
+        self.shards = [make_shard(i) for i in range(shard_count)]
+        self.op_timeout = op_timeout
+
+    def apply_all(self, commands: Sequence[tuple[Sequence[IngestCommand],
+                  Sequence[PunctuationCommand], float]]
+                  ) -> list[ShardResult]:
+        return [shard.apply(*command)
+                for shard, command in zip(self.shards, commands)]
+
+    def checkpoint_all(self) -> list:
+        return [shard.checkpoint() for shard in self.shards]
+
+    def recover_all(self) -> list:
+        return [shard.recover() for shard in self.shards]
+
+    def summaries(self) -> list[ShardSummary]:
+        return [shard.summary() for shard in self.shards]
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+
+class ThreadBackend(SerialBackend):
+    """Thread-pool backend: one worker thread per shard wake-up task.
+
+    Shards are mutated only by their own task, so no locking is needed;
+    determinism follows from shard independence plus the facade's
+    deterministic merge.  ``op_timeout`` bounds each shard's wake-up so a
+    livelocked shard surfaces as :class:`ShardTimeoutError`.
+    """
+
+    kind = "thread"
+
+    def __init__(self, shard_count: int, make_shard: Callable[[int],
+                 EngineShard], *, op_timeout: float = 60.0) -> None:
+        super().__init__(shard_count, make_shard, op_timeout=op_timeout)
+        self._pool = ThreadPoolExecutor(
+            max_workers=shard_count, thread_name_prefix="repro-shard")
+
+    def apply_all(self, commands) -> list[ShardResult]:
+        futures = [self._pool.submit(shard.apply, *command)
+                   for shard, command in zip(self.shards, commands)]
+        results = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result(timeout=self.op_timeout))
+            except TimeoutError:
+                raise ShardTimeoutError(
+                    f"shard {index} did not finish a wake-up within "
+                    f"{self.op_timeout}s") from None
+        return results
+
+    def close(self) -> None:
+        super().close()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _shard_worker(conn, index: int, build, kwargs: dict) -> None:
+    """Worker-process command loop (fork start method: args not pickled)."""
+    shard = EngineShard(index, build, **kwargs)
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        op = message[0]
+        try:
+            if op == "apply":
+                conn.send(("ok", shard.apply(*message[1:])))
+            elif op == "checkpoint":
+                conn.send(("ok", shard.checkpoint()))
+            elif op == "recover":
+                conn.send(("ok", shard.recover()))
+            elif op == "summary":
+                conn.send(("ok", shard.summary()))
+            elif op == "close":
+                shard.close()
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("err", f"unknown shard op {op!r}"))
+        except Exception:  # noqa: BLE001 - crossing a process boundary
+            conn.send(("err", traceback.format_exc()))
+
+
+class ProcessBackend:
+    """Forked worker processes, one per shard, driven over pipes.
+
+    Requires the ``fork`` start method (the graph factory and ETS policy
+    factory travel by inheritance, not pickling), so this backend is
+    POSIX-only.  Every reply is awaited with ``op_timeout``; a shard that
+    fails to answer — deadlocked, killed, or crashed — raises
+    :class:`ShardTimeoutError` / :class:`ShardError` instead of blocking.
+    """
+
+    kind = "process"
+
+    def __init__(self, shard_count: int, make_args: Callable[[int],
+                 tuple[Callable[[], Any], dict]], *,
+                 op_timeout: float = 60.0) -> None:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            raise ReproError(
+                "the process backend needs the 'fork' start method; "
+                "use backend='thread' on this platform") from None
+        self.op_timeout = op_timeout
+        self._conns = []
+        self._procs = []
+        for index in range(shard_count):
+            parent, child = ctx.Pipe()
+            build, kwargs = make_args(index)
+            proc = ctx.Process(
+                target=_shard_worker, args=(child, index, build, kwargs),
+                daemon=True, name=f"repro-shard-{index}")
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    def _recv(self, index: int, op: str):
+        conn = self._conns[index]
+        if not conn.poll(self.op_timeout):
+            self._procs[index].terminate()
+            raise ShardTimeoutError(
+                f"shard {index} did not answer {op!r} within "
+                f"{self.op_timeout}s (terminated)")
+        try:
+            status, value = conn.recv()
+        except EOFError:
+            raise ShardError(f"shard {index} died executing {op!r}") \
+                from None
+        if status != "ok":
+            raise ShardError(f"shard {index} failed {op!r}:\n{value}")
+        return value
+
+    def _call_all(self, messages: Sequence[tuple]) -> list:
+        for conn, message in zip(self._conns, messages):
+            conn.send(message)
+        return [self._recv(index, messages[index][0])
+                for index in range(len(self._conns))]
+
+    def apply_all(self, commands) -> list[ShardResult]:
+        return self._call_all([("apply",) + tuple(command)
+                               for command in commands])
+
+    def checkpoint_all(self) -> list:
+        return self._call_all([("checkpoint",)] * len(self._conns))
+
+    def recover_all(self) -> list:
+        return self._call_all([("recover",)] * len(self._conns))
+
+    def summaries(self) -> list[ShardSummary]:
+        return self._call_all([("summary",)] * len(self._conns))
+
+    def close(self) -> None:
+        for index, conn in enumerate(self._conns):
+            try:
+                conn.send(("close",))
+                if conn.poll(self.op_timeout):
+                    conn.recv()
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=self.op_timeout)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def make_backend(kind: str, shard_count: int, *,
+                 build: Callable[[], Any],
+                 shard_kwargs: Callable[[int], dict],
+                 op_timeout: float = 60.0):
+    """Construct a backend by name (the facade's single switch point)."""
+    if kind in ("serial", "thread"):
+        cls = SerialBackend if kind == "serial" else ThreadBackend
+
+        def make_shard(index: int) -> EngineShard:
+            return EngineShard(index, build, **shard_kwargs(index))
+
+        return cls(shard_count, make_shard, op_timeout=op_timeout)
+    if kind == "process":
+        def make_args(index: int):
+            return build, shard_kwargs(index)
+
+        return ProcessBackend(shard_count, make_args, op_timeout=op_timeout)
+    raise ReproError(f"unknown shard backend {kind!r}; "
+                     f"expected one of {BACKENDS}")

@@ -1,0 +1,305 @@
+"""The :class:`ShardedEngine` facade: P engines behind one ingest surface.
+
+Data tuples are *shuffled* — routed by a stable hash of their partition key
+to exactly one shard — while punctuation is *broadcast* to every shard:
+each shard holds a full copy of the query graph, so its IWP operators gate
+on all sources' progress, and a shard that never receives a key still
+learns that time has passed.  (This is the paper's idle-waiting problem
+reappearing one level up: without punctuation, an idle shard pins the
+global frontier exactly as an idle input pins an IWP operator's τ — and
+the same ETS machinery fixes both.)
+
+Shard outputs flow into a :class:`~repro.shard.frontier.FrontierMerge`
+gated on the min advertised frontier, so the merged stream is globally
+timestamp-ordered while each shard runs at its own pace.
+
+Correctness contract: the query must be **key-partitionable** — every
+stateful binary operator (the window join) keyed on the partition key, so
+that co-partitioned tuples meet on the same shard.  Unary operators
+(select/map/union-of-partitioned-streams/reorder) compose freely.  The
+``ShardedDifferentialOracle`` in ``tests/oracle.py`` is the executable
+form of this contract: sharded output must equal single-engine output
+after canonicalized ordering, for P ∈ {1, 2, 4}, across ETS modes, batch
+sizes, and join layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..core.errors import ReproError
+from ..core.ets import EtsPolicy
+from ..obs.bus import EventBus
+from .backends import (
+    BACKENDS,
+    EngineShard,
+    ShardResult,
+    ShardSummary,
+    make_backend,
+)
+from .frontier import FrontierMerge, FrontierTracker, MergedRecord
+from .partition import HashPartitioner
+
+__all__ = ["ShardedEngine", "ShardedRecoveryReport"]
+
+
+@dataclass(slots=True)
+class ShardedRecoveryReport:
+    """Per-shard recovery reports plus the composed global figures.
+
+    ``ingests_by_shard`` maps ``shard -> {source -> replayed ingest
+    count}`` — exactly the per-shard skip counts a driver needs to re-feed
+    the global schedule without duplicating routed tuples (routing is
+    deterministic, so the crashed run's prefix routes identically on
+    replay).
+    """
+
+    reports: list = field(default_factory=list)
+    ingests_by_shard: dict[int, dict[str, int]] = field(default_factory=dict)
+    frontiers: list[float] = field(default_factory=list)
+
+    @property
+    def ingests_by_source(self) -> dict[str, int]:
+        """Global replayed-ingest counts, summed across shards."""
+        totals: dict[str, int] = {}
+        for counts in self.ingests_by_shard.values():
+            for source, count in counts.items():
+                totals[source] = totals.get(source, 0) + count
+        return totals
+
+    @property
+    def total_ingests(self) -> int:
+        return sum(self.ingests_by_source.values())
+
+    @property
+    def any_fallback(self) -> bool:
+        return any(r.fallback for r in self.reports)
+
+
+class ShardedEngine:
+    """P key-partitioned engine shards behind one ingest/wakeup surface.
+
+    Args:
+        build: Zero-argument factory returning a fresh
+            :class:`~repro.core.graph.QueryGraph`; called once per shard
+            (each shard runs a private copy).
+        shards: Shard count P ≥ 1.
+        key: Partition key — a payload field name or a callable
+            ``payload -> key``.  Keys must be stable-hashable (see
+            :func:`repro.shard.partition.stable_hash`).
+        backend: ``"serial"``, ``"thread"``, or ``"process"``.
+        ets_policy_factory: Builds one ETS policy per shard (policies are
+            stateful); None means NoEts everywhere.
+        batch_size: Micro-batch width forwarded to every shard engine.
+        state_dir: Root directory for per-shard recovery state
+            (``state_dir/shard-00``, ``shard-01``, …); None disables
+            durability.
+        checkpoint_every: Per-shard checkpoint cadence in engine rounds.
+        observers: :class:`~repro.obs.bus.Observer` instances receiving
+            ``on_shard`` events (and nothing else — per-shard engine-level
+            events stay inside their shard).
+        op_timeout: Per-shard operation timeout (seconds) enforced by the
+            thread and process backends.
+        disorder_bound: Frontier slack for out-of-order sources.
+    """
+
+    def __init__(self, build: Callable[[], Any], *, shards: int,
+                 key: str | Callable[[Any], Any],
+                 backend: str = "thread",
+                 ets_policy_factory: Callable[[], EtsPolicy] | None = None,
+                 batch_size: int = 1,
+                 state_dir: str | Path | None = None,
+                 checkpoint_every: int | None = None,
+                 observers=None,
+                 op_timeout: float = 60.0,
+                 disorder_bound: float = 0.0) -> None:
+        if backend not in BACKENDS:
+            raise ReproError(f"unknown shard backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+        self.shard_count = int(shards)
+        self.backend_kind = backend
+        self.partitioner = HashPartitioner(shards, key)
+        self.tracker = FrontierTracker(shards)
+        self.merge = FrontierMerge()
+        self.bus = EventBus(observers) if observers else None
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self._drive_now = 0.0
+        self._pending_ingests: list[list] = [[] for _ in range(shards)]
+        self._pending_puncts: list = []
+        self.ingested = 0
+        self.wakeups = 0
+        self._closed = False
+
+        def shard_kwargs(index: int) -> dict:
+            shard_state = (None if self.state_dir is None
+                           else self.state_dir / f"shard-{index:02d}")
+            return {
+                "ets_policy_factory": ets_policy_factory,
+                "batch_size": batch_size,
+                "state_dir": shard_state,
+                "checkpoint_every": checkpoint_every,
+                "disorder_bound": disorder_bound,
+            }
+
+        self._shard_kwargs = shard_kwargs
+        self._build = build
+        self.backend = make_backend(backend, shards, build=build,
+                                    shard_kwargs=shard_kwargs,
+                                    op_timeout=op_timeout)
+
+    # ------------------------------------------------------------------ #
+    # Routing (the shuffle)
+
+    def shard_for(self, payload: Any) -> int:
+        """The shard a payload routes to (deterministic, process-stable)."""
+        return self.partitioner.shard_for_payload(payload)
+
+    def ingest(self, source: str, payload: Any, *, time: float,
+               ts: float | None = None) -> int:
+        """Route one tuple to its key's shard; applied at the next wakeup.
+
+        Returns the destination shard index.
+        """
+        shard = self.shard_for(payload)
+        self._pending_ingests[shard].append((source, payload, time, ts))
+        if time > self._drive_now:
+            self._drive_now = time
+        self.ingested += 1
+        return shard
+
+    def inject_punctuation(self, source: str, ts: float, *,
+                           origin: str = "", periodic: bool = False) -> None:
+        """Broadcast a punctuation to every shard at the next wakeup."""
+        self._pending_puncts.append((source, ts, origin, periodic))
+
+    # ------------------------------------------------------------------ #
+    # Driving
+
+    def wakeup(self) -> list[MergedRecord]:
+        """Flush the exchange, run every shard to quiescence, merge.
+
+        Returns the records released by the frontier gate this round, as
+        ``(ts, shard, seq, sink, payload)`` tuples in global timestamp
+        order.
+        """
+        commands = [(self._pending_ingests[i], self._pending_puncts,
+                     self._drive_now) for i in range(self.shard_count)]
+        self._pending_ingests = [[] for _ in range(self.shard_count)]
+        self._pending_puncts = []
+        results: list[ShardResult] = self.backend.apply_all(commands)
+        self.wakeups += 1
+        for result in results:
+            self.tracker.advertise(result.shard, result.frontier)
+            self.merge.offer(result.shard, result.outputs)
+            if self.bus is not None:
+                if result.ingested:
+                    self.bus.shard(kind="ingest", shard=result.shard,
+                                   time=self._drive_now,
+                                   count=result.ingested)
+                self.bus.shard(kind="wakeup", shard=result.shard,
+                               time=self._drive_now,
+                               frontier=result.frontier,
+                               count=len(result.outputs))
+        released = self.merge.release(self.tracker.global_frontier())
+        if self.bus is not None:
+            self.bus.shard(kind="frontier", shard=-1, time=self._drive_now,
+                           frontier=self.tracker.global_frontier(),
+                           count=len(released))
+        return released
+
+    def close(self, *, flush: bool = True) -> list[MergedRecord]:
+        """Shut down shards; optionally flush records still gated.
+
+        In-flight merge state is volatile by design (the durable
+        exactly-once boundary is each shard's sink — see DESIGN.md §4g);
+        an orderly close flushes it so a complete run loses nothing.
+        """
+        if self._closed:
+            return []
+        self._closed = True
+        remaining = self.merge.flush() if flush else []
+        self.backend.close()
+        return remaining
+
+    # ------------------------------------------------------------------ #
+    # Durability composition
+
+    def checkpoint(self) -> list:
+        """Force a checkpoint on every shard (requires ``state_dir``)."""
+        return self.backend.checkpoint_all()
+
+    def recover(self) -> ShardedRecoveryReport:
+        """Recover every shard to its durable prefix; compose the reports.
+
+        Per-shard prefixes are mutually consistent because shards share no
+        channels after the shuffle: each shard's WAL replay restores *its*
+        partition of the stream exactly-once, and deterministic routing
+        lets the driver re-feed the global suffix using the returned
+        per-shard skip counts.
+        """
+        reports = self.backend.recover_all()
+        composed = ShardedRecoveryReport(reports=list(reports))
+        summaries = self.backend.summaries()
+        for index, (report, summary) in enumerate(zip(reports, summaries)):
+            composed.ingests_by_shard[index] = dict(report.ingests_by_source)
+            composed.frontiers.append(summary.frontier)
+            self.tracker.advertise(index, summary.frontier)
+            if self.bus is not None:
+                self.bus.shard(kind="recovery", shard=index,
+                               time=self._drive_now,
+                               frontier=summary.frontier,
+                               count=sum(report.ingests_by_source.values()))
+        return composed
+
+    def crash_shard(self, index: int) -> Any:
+        """Simulate a single-shard failure (in-process backends only).
+
+        The shard's in-memory state is discarded and rebuilt from its
+        checkpoint + WAL while every other shard keeps running — the
+        targeted-failure half of the crash matrix.  Returns the shard's
+        :class:`RecoveryReport`.
+        """
+        shards = getattr(self.backend, "shards", None)
+        if shards is None:
+            raise ReproError("crash_shard needs an in-process backend "
+                             "(serial or thread)")
+        old = shards[index]
+        old.close()
+        replacement = EngineShard(index, self._build,
+                                  **self._shard_kwargs(index))
+        shards[index] = replacement
+        report = replacement.recover()
+        self.tracker.advertise(index, replacement.frontier())
+        if self.bus is not None:
+            self.bus.shard(kind="recovery", shard=index,
+                           time=self._drive_now,
+                           frontier=replacement.frontier(),
+                           count=sum(report.ingests_by_source.values()))
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def summaries(self) -> list[ShardSummary]:
+        return self.backend.summaries()
+
+    def summary(self) -> dict:
+        """Global end-of-run figures plus one entry per shard."""
+        per_shard = self.summaries()
+        return {
+            "shards": self.shard_count,
+            "backend": self.backend_kind,
+            "ingested": self.ingested,
+            "wakeups": self.wakeups,
+            "released": self.merge.released_count,
+            "pending": self.merge.pending,
+            "frontier": self.tracker.global_frontier(),
+            "frontier_spread": self.tracker.spread(),
+            "per_shard": [
+                {"shard": s.shard, "ingested": s.ingested,
+                 "delivered": s.delivered, "frontier": s.frontier}
+                for s in per_shard
+            ],
+        }

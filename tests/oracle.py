@@ -31,9 +31,11 @@ from repro.core.graph import QueryGraph
 from repro.core.operators.sink import SinkNode
 from repro.core.operators.source import SourceNode
 from repro.recovery import RecoveryManager
+from repro.shard import ShardedEngine
 from repro.sim.clock import VirtualClock
 
-__all__ = ["CrashRecoveryOracle", "Feed", "DifferentialOracle", "SinkRecord"]
+__all__ = ["CrashRecoveryOracle", "Feed", "DifferentialOracle",
+           "ShardedDifferentialOracle", "SinkRecord"]
 
 #: Canonical record of one delivered tuple: (sink name, timestamp, payload).
 SinkRecord = tuple[str, float, Any]
@@ -363,6 +365,115 @@ class CrashRecoveryOracle:
                      f"(batch_size={batch_size}, "
                      f"checkpoint_every={checkpoint_every}) is not "
                      f"exactly-once")
+
+
+class ShardedDifferentialOracle:
+    """Replay one workload sharded and unsharded; assert identical output.
+
+    The sharding contract (:mod:`repro.shard`): for a key-partitionable
+    query, routing data tuples to P shards by a stable key hash,
+    broadcasting punctuation, and gating the merged output on the min
+    advertised frontier must deliver exactly the tuples a single engine
+    delivers.  Comparison is canonicalized — the merge releases records in
+    global timestamp order, but ties at one timestamp may interleave
+    differently across P values, and both orders are valid stream outputs
+    (the same allowance :meth:`DifferentialOracle.assert_ets_invariant`
+    makes across ETS policies).
+
+    Args:
+        build: Zero-argument factory returning a fresh graph; the sharded
+            run calls it once per shard.
+        feeds: Deterministic, time-ordered arrival schedule.
+        key: Partition key (payload field name or callable) — must match
+            the query's join key for the run to be key-partitionable.
+        chunk: Arrivals ingested between wake-ups, sharded and not.
+        punctuate_every: Periodic-punctuation cadence in chunks (see
+            :class:`DifferentialOracle`).
+    """
+
+    def __init__(self, build: Callable[[], QueryGraph], feeds: Sequence[Feed],
+                 *, key, chunk: int = 32,
+                 punctuate_every: int | None = None) -> None:
+        self.build = build
+        self.feeds = list(feeds)
+        self.key = key
+        self.chunk = chunk
+        self.punctuate_every = punctuate_every
+        self.source_names = sorted(s.name for s in build().sources())
+
+    # ------------------------------------------------------------------ #
+    # Running
+
+    def run_single(self, *, batch_size: int = 1,
+                   ets_policy: EtsPolicy | None = None,
+                   punctuate: bool = False) -> list[SinkRecord]:
+        """The single-engine reference trace (delegates to
+        :class:`DifferentialOracle` so both drives share one idiom)."""
+        oracle = DifferentialOracle(self.build, self.feeds, chunk=self.chunk,
+                                    punctuate_every=self.punctuate_every)
+        return oracle.run(batch_size=batch_size, ets_policy=ets_policy,
+                          punctuate=punctuate)
+
+    def run_sharded(self, *, shards: int, backend: str = "serial",
+                    batch_size: int = 1,
+                    ets_policy_factory: Callable[[], EtsPolicy] | None = None,
+                    punctuate: bool = False,
+                    observers=None) -> list[SinkRecord]:
+        """Replay the schedule through a P-shard engine; returns the merged
+        trace as canonical ``(sink, ts, payload)`` records."""
+        engine = ShardedEngine(self.build, shards=shards, key=self.key,
+                               backend=backend,
+                               ets_policy_factory=ets_policy_factory,
+                               batch_size=batch_size, observers=observers)
+        released = []
+        try:
+            now = 0.0
+            for chunk_no, group in enumerate(_chunks(self.feeds, self.chunk),
+                                             1):
+                for feed in group:
+                    engine.ingest(feed.source, feed.payload, time=feed.time,
+                                  ts=feed.external_ts)
+                    now = feed.time
+                if (punctuate and self.punctuate_every
+                        and chunk_no % self.punctuate_every == 0):
+                    for name in self.source_names:
+                        engine.inject_punctuation(
+                            name, now, origin=f"oracle:{name}", periodic=True)
+                released.extend(engine.wakeup())
+            final_ts = now + 1.0
+            for name in self.source_names:
+                engine.inject_punctuation(name, final_ts,
+                                          origin=f"oracle-eos:{name}")
+            released.extend(engine.wakeup())
+        finally:
+            released.extend(engine.close(flush=True))
+        # MergedRecord is (ts, shard, seq, sink, payload).
+        return [(sink, ts, payload) for ts, _, _, sink, payload in released]
+
+    # ------------------------------------------------------------------ #
+    # Differential assertion
+
+    def assert_sharded_equals_single(
+            self, shard_counts: Sequence[int] = (1, 2, 4),
+            *, backend: str = "serial", batch_size: int = 1,
+            ets_policy_factory: Callable[[], EtsPolicy] | None = None,
+            punctuate: bool = False) -> None:
+        """Sharded output must equal the single engine's for every P,
+        after canonicalizing equal-timestamp ties."""
+        def policy() -> EtsPolicy | None:
+            return ets_policy_factory() if ets_policy_factory else None
+
+        reference = _canonical(self.run_single(
+            batch_size=batch_size, ets_policy=policy(), punctuate=punctuate))
+        assert reference, "empty single-engine trace proves nothing"
+        for shards in shard_counts:
+            got = _canonical(self.run_sharded(
+                shards=shards, backend=backend, batch_size=batch_size,
+                ets_policy_factory=ets_policy_factory, punctuate=punctuate))
+            _assert_same(reference, got,
+                         f"sharded (P={shards}, backend={backend}, "
+                         f"batch_size={batch_size}) diverged from the "
+                         f"single engine")
 
 
 def _canonical(records: list[SinkRecord]) -> list[SinkRecord]:

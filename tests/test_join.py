@@ -265,8 +265,10 @@ class TestIndexedFastPath:
         assert outputs[False] == outputs[None]
 
     def test_probe_counts_differ_but_emissions_match(self):
+        # indexed=True pins bucket probing: the auto-selected layout is
+        # adaptive and would scan at this key cardinality (4 buckets < 8).
         scan_op, scan_h = make_join(key="k", indexed=False)
-        idx_op, idx_h = make_join(key="k")
+        idx_op, idx_h = make_join(key="k", indexed=True)
         for h in (scan_h, idx_h):
             for i in range(8):
                 h.feed(0, float(i), {"k": i % 4})

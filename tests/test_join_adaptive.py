@@ -1,0 +1,196 @@
+"""Regression tests for the adaptive join's cardinality-based probe switch.
+
+BENCH_join.json measured the indexed layout *losing* to the scan at key
+cardinality 4 (0.93x): when a handful of buckets hold the whole window, the
+hash lookup buys nothing and its overhead shows.  The adaptive join fixes
+the regression by consulting the opposite window's live ``bucket_count``
+before every probe and walking the scan path below ``adaptive_threshold``.
+These tests pin the switch behaviour — when it engages, when it must not,
+and that it never changes a single delivered byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from oracle import DifferentialOracle, _assert_same
+
+from repro.core.errors import ExecutionError
+from repro.core.ets import NoEts, OnDemandEts
+from repro.core.graph import QueryGraph
+from repro.core.operators import WindowJoin
+from repro.core.windows import WindowSpec
+
+from test_join_index import keyed_stream, _merge
+
+
+def feeds_at(cardinality: int):
+    return _merge(
+        keyed_stream("fast", rate_period=0.05, count=200, seed=7,
+                     cardinality=cardinality),
+        keyed_stream("slow", rate_period=0.7, count=16, seed=9,
+                     cardinality=cardinality, start=0.3),
+    )
+
+
+def balanced_feeds_at(cardinality: int):
+    """Similar rates on both sides, so *both* windows grow many buckets."""
+    return _merge(
+        keyed_stream("fast", rate_period=0.05, count=200, seed=7,
+                     cardinality=cardinality),
+        keyed_stream("slow", rate_period=0.06, count=160, seed=9,
+                     cardinality=cardinality, start=0.02),
+    )
+
+
+class JoinFactory:
+    """Graph factory that remembers the join of the last graph it built."""
+
+    def __init__(self, **join_kwargs):
+        self.join_kwargs = join_kwargs
+        self.last_join: WindowJoin | None = None
+
+    def __call__(self) -> QueryGraph:
+        graph = QueryGraph("join-adaptive")
+        fast = graph.add_source("fast")
+        slow = graph.add_source("slow")
+        join = graph.add(WindowJoin("join", WindowSpec.time(5.0), key="k",
+                                    **self.join_kwargs))
+        sink = graph.add_sink("sink")
+        graph.connect(fast, join)
+        graph.connect(slow, join)
+        graph.connect(join, sink)
+        self.last_join = join
+        return graph
+
+
+def run_factory(factory: JoinFactory, feeds, **run_kwargs):
+    oracle = DifferentialOracle(factory, feeds, chunk=8, punctuate_every=4)
+    return oracle.run(**run_kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Switch behaviour
+
+
+def test_low_cardinality_stays_on_scan_path():
+    """Cardinality 4 < threshold 8: every probe takes the scan walk."""
+    factory = JoinFactory()  # indexed=None -> auto layout, adaptive on
+    run_factory(factory, feeds_at(4))
+    join = factory.last_join
+    assert join.probe_mode == "adaptive"
+    assert join.scan_probes > 0
+    assert join.indexed_probes == 0
+
+
+def test_high_cardinality_switches_to_bucket_probing():
+    """Cardinality 64: once a window holds >= 8 live buckets, probes into
+    it go through the index; only the warmup prefix scans."""
+    factory = JoinFactory()
+    run_factory(factory, balanced_feeds_at(64))
+    join = factory.last_join
+    assert join.indexed_probes > 0
+    # The warmup prefix (windows still below 8 buckets) scans, then the
+    # join must stay on the bucket path for the bulk of the run.
+    assert join.indexed_probes > join.scan_probes
+
+
+def test_skewed_rates_pick_the_path_per_side():
+    """The paper's rate-diverse shape: the slow side's window never grows
+    past a handful of tuples, so probes *into* it keep scanning while
+    probes into the large fast-side window use the index — the per-probe
+    decision is per-window, not global."""
+    factory = JoinFactory()
+    run_factory(factory, feeds_at(64))
+    join = factory.last_join
+    assert join.scan_probes > 0 and join.indexed_probes > 0
+
+
+def test_explicit_indexed_true_is_pinned():
+    """indexed=True is an explicit layout choice: no adaptive fallback,
+    even at the regression's cardinality."""
+    factory = JoinFactory(indexed=True)
+    run_factory(factory, feeds_at(4))
+    join = factory.last_join
+    assert join.probe_mode == "indexed"
+    assert not join.adaptive
+    assert join.scan_probes == 0
+    assert join.indexed_probes > 0
+
+
+def test_threshold_overrides_the_switch_point():
+    """adaptive_threshold is the knob: 0 never scans, huge never probes."""
+    always = JoinFactory(adaptive_threshold=0)
+    run_factory(always, feeds_at(4))
+    assert always.last_join.scan_probes == 0
+    assert always.last_join.indexed_probes > 0
+
+    never = JoinFactory(adaptive_threshold=10 ** 6)
+    run_factory(never, feeds_at(64))
+    assert never.last_join.indexed_probes == 0
+    assert never.last_join.scan_probes > 0
+
+
+def test_adaptive_requires_indexed_eligibility():
+    with pytest.raises(ExecutionError):
+        WindowJoin("join", WindowSpec.time(5.0), adaptive=True,
+                   predicate=lambda a, b: True)  # no key: not eligible
+    with pytest.raises(ExecutionError):
+        WindowJoin("join", WindowSpec.time(5.0), key="k",
+                   adaptive_threshold=-1)
+
+
+def test_probe_mode_reflects_configuration():
+    assert WindowJoin("j", WindowSpec.time(1.0)).probe_mode == "scan"
+    assert WindowJoin("j", WindowSpec.time(1.0), key="k",
+                      indexed=True).probe_mode == "indexed"
+    assert WindowJoin("j", WindowSpec.time(1.0),
+                      key="k").probe_mode == "adaptive"
+    assert WindowJoin("j", WindowSpec.time(1.0), key="k", indexed=True,
+                      adaptive=True).probe_mode == "adaptive"
+    assert WindowJoin("j", WindowSpec.time(1.0), key="k",
+                      adaptive=False).probe_mode == "indexed"
+
+
+# --------------------------------------------------------------------- #
+# Output identity: the switch may never change delivered bytes
+
+
+@pytest.mark.parametrize("cardinality", [2, 4, 64])
+def test_adaptive_output_identical_to_both_forced_modes(cardinality):
+    feeds = feeds_at(cardinality)
+    for batch_size in (1, 8):
+        for label, kwargs in (
+                ("NoEts", dict(ets_policy=NoEts())),
+                ("OnDemandEts", dict(ets_policy=OnDemandEts(),
+                                     punctuate=True))):
+            adaptive = run_factory(JoinFactory(), feeds,
+                                   batch_size=batch_size, **kwargs)
+            scan = run_factory(JoinFactory(indexed=False), feeds,
+                               batch_size=batch_size, **kwargs)
+            indexed = run_factory(JoinFactory(indexed=True), feeds,
+                                  batch_size=batch_size, **kwargs)
+            _assert_same(scan, adaptive,
+                         f"adaptive diverged from scan (cardinality="
+                         f"{cardinality}, {label}, batch={batch_size})")
+            _assert_same(indexed, adaptive,
+                         f"adaptive diverged from indexed (cardinality="
+                         f"{cardinality}, {label}, batch={batch_size})")
+            assert adaptive, "empty trace proves nothing"
+
+
+def test_snapshot_roundtrips_probe_counters():
+    factory = JoinFactory()
+    run_factory(factory, feeds_at(64))
+    join = factory.last_join
+    snap = join.snapshot_state()
+    assert snap["indexed_probes"] == join.indexed_probes > 0
+    fresh = WindowJoin("join", WindowSpec.time(5.0), key="k")
+    fresh.restore_state(snap)
+    assert fresh.indexed_probes == join.indexed_probes
+    assert fresh.scan_probes == join.scan_probes
+    # Old (pre-counter) snapshots restore with zeroed counters.
+    del snap["indexed_probes"], snap["scan_probes"]
+    stale = WindowJoin("join", WindowSpec.time(5.0), key="k")
+    stale.restore_state(snap)
+    assert stale.indexed_probes == 0 and stale.scan_probes == 0

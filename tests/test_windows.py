@@ -171,6 +171,20 @@ class TestIndexedTimeWindow:
         assert list(w.probe("stale")) == []
         assert w.bucket_count == 1
 
+    def test_backstop_sweep_purges_unprobed_buckets(self):
+        """An adaptive join on the scan path never probes, so the lazy
+        per-bucket purges never run; the expire-side backstop sweep must
+        still free expired tuples once enough drops accumulate."""
+        w = IndexedTimeWindow(10.0, by_k)
+        for i in range(300):
+            w.insert(kd(float(i), i % 4))
+            w.expire(float(i))
+        assert len(w) <= 11
+        # Without the sweep every bucket would still hold ~75 tuples.
+        retained = sum(len(b) for b in w._buckets.values())
+        assert retained <= len(w) + max(64, len(w))
+        assert w.bucket_count <= 4
+
     def test_out_of_order_insert_rejected(self):
         w = IndexedTimeWindow(10.0, by_k)
         w.insert(kd(5.0, 1))
@@ -221,6 +235,14 @@ class TestIndexedCountWindow:
         assert w.bucket_count == 2
         assert list(w.probe("a")) == []
         assert w.bucket_count == 1
+
+    def test_backstop_sweep_purges_unprobed_buckets(self):
+        w = IndexedCountWindow(5, by_k)
+        for i in range(300):
+            w.insert(kd(float(i), i % 4))
+        retained = sum(len(b) for b in w._buckets.values())
+        # Evicted ring entries pile up only until the next sweep window.
+        assert retained <= len(w) + max(64, w.size)
 
     def test_nan_key_never_matches(self):
         nan = float("nan")
