@@ -62,10 +62,12 @@ from .core.windows import CountWindow, TimeWindow, WindowSpec
 from .core.tuples import (
     LATENT_TS,
     DataTuple,
+    FeedbackPunctuation,
     Punctuation,
     StreamElement,
     TimestampKind,
     is_data,
+    is_feedback,
     is_punctuation,
 )
 from .core.ets import (
@@ -136,14 +138,23 @@ from .faults import (
     FaultPlan,
     FaultSpec,
     InvariantMonitor,
+    LoadSpike,
     OutOfOrderBurst,
     ProcessCrash,
     PunctuationDelay,
     PunctuationLoss,
     QuarantinePolicy,
     SimulatedCrash,
+    SlowSink,
     SourceOutage,
     StallDetector,
+)
+
+# --- feedback (closed-loop backpressure) ------------------------------------ #
+from .feedback import (
+    FeedbackController,
+    TokenBucketThrottle,
+    propagate_feedback,
 )
 
 # --- recovery (checkpoint / WAL / crash-stop restore) ---------------------- #
@@ -204,10 +215,13 @@ from .experiments import (
     format_figure8,
     format_idle_table,
     idle_waiting_table,
+    OverloadConfig,
+    OverloadReport,
     result_from_handles,
     run_chaos_experiment,
     run_crash_experiment,
     run_join_experiment,
+    run_overload_experiment,
     run_sweep,
     run_union_experiment,
     run_validation,
@@ -224,9 +238,10 @@ __all__ = [
     "CountWindow", "Field", "Schema", "TimeWindow", "WindowSpec",
     # tuples, timestamps & ETS
     "AdaptiveHeartbeatSchedule", "DataTuple", "EtsPolicy",
-    "InternalClockEts", "LATENT_TS", "NoEts", "OnDemandEts",
-    "PeriodicEtsSchedule", "Punctuation", "SkewBoundEts", "StreamElement",
-    "TimestampKind", "default_generator_for", "is_data", "is_punctuation",
+    "FeedbackPunctuation", "InternalClockEts", "LATENT_TS", "NoEts",
+    "OnDemandEts", "PeriodicEtsSchedule", "Punctuation", "SkewBoundEts",
+    "StreamElement", "TimestampKind", "default_generator_for", "is_data",
+    "is_feedback", "is_punctuation",
     # errors
     "ExecutionError", "GraphError", "InvariantViolation", "PolicyError",
     "QueryLanguageError", "RecoveryError", "ReproError", "SchemaError",
@@ -246,9 +261,12 @@ __all__ = [
     "profile_simulation", "queue_summary",
     # faults & degradation
     "ClockSkewSpike", "DropTuples", "DuplicateTuples", "FallbackHeartbeat",
-    "FaultPlan", "FaultSpec", "InvariantMonitor", "OutOfOrderBurst",
-    "ProcessCrash", "PunctuationDelay", "PunctuationLoss",
-    "QuarantinePolicy", "SimulatedCrash", "SourceOutage", "StallDetector",
+    "FaultPlan", "FaultSpec", "InvariantMonitor", "LoadSpike",
+    "OutOfOrderBurst", "ProcessCrash", "PunctuationDelay",
+    "PunctuationLoss", "QuarantinePolicy", "SimulatedCrash", "SlowSink",
+    "SourceOutage", "StallDetector",
+    # feedback (closed-loop backpressure)
+    "FeedbackController", "TokenBucketThrottle", "propagate_feedback",
     # recovery
     "CheckpointInfo", "CheckpointStore", "CheckpointWriter",
     "RecoveryManager", "RecoveryReport", "WriteAheadLog",
@@ -268,8 +286,9 @@ __all__ = [
     "CrashReport", "DEFAULT_HEARTBEAT_RATES", "ExperimentResult",
     "SweepResult", "figure7", "figure8",
     "format_claims", "format_figure7", "format_figure8",
-    "format_idle_table", "idle_waiting_table", "result_from_handles",
+    "format_idle_table", "idle_waiting_table", "OverloadConfig",
+    "OverloadReport", "result_from_handles",
     "run_chaos_experiment", "run_crash_experiment", "run_join_experiment",
-    "run_sweep", "run_union_experiment", "run_validation",
-    "validate_paper_claims",
+    "run_overload_experiment", "run_sweep", "run_union_experiment",
+    "run_validation", "validate_paper_claims",
 ]

@@ -161,6 +161,21 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--state-dir", type=str, default=None,
                        help="with --crash-at: checkpoint/WAL directory "
                             "(default: a temp directory, removed after)")
+    chaos.add_argument("--overload", action="store_true",
+                       help="run the overload squeeze (load spike + slow "
+                            "sink) instead of the outage plan, comparing "
+                            "open- vs closed-loop backpressure")
+    chaos.add_argument("--spike-start", type=float, default=10.0)
+    chaos.add_argument("--spike-duration", type=float, default=20.0)
+    chaos.add_argument("--spike-factor", type=float, default=6.0,
+                       help="arrival-rate multiplier during the spike")
+    chaos.add_argument("--sink-extra", type=float, default=0.004,
+                       help="extra seconds per sink step during the spike")
+    chaos.add_argument("--high-watermark", type=int, default=48,
+                       help="buffer depth activating the feedback "
+                            "controller (closed-loop run)")
+    chaos.add_argument("--open-loop-only", action="store_true",
+                       help="with --overload: skip the closed-loop run")
 
     recover = sub.add_parser(
         "recover",
@@ -362,6 +377,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .api import ChaosConfig, run_chaos_experiment
 
+    if args.overload:
+        return _run_overload(args)
+
     if args.crash_at is not None:
         return _run_crash(
             duration=args.duration, crash_at=args.crash_at,
@@ -391,6 +409,33 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"[{config.outage_start:g}s, "
               f"{config.outage_start + config.outage_duration:g}s) — "
               f"{ladder}"))
+    return 0
+
+
+def _run_overload(args: argparse.Namespace) -> int:
+    from .api import OverloadConfig, run_overload_experiment
+
+    def run(feedback: bool):
+        config = OverloadConfig(
+            duration=args.duration, rate_fast=args.rate_fast,
+            rate_slow=args.rate_slow, seed=args.seed,
+            base_ets=args.base_ets, batch_size=args.batch_size,
+            spike_start=args.spike_start,
+            spike_duration=args.spike_duration,
+            spike_factor=args.spike_factor, sink_extra=args.sink_extra,
+            high_watermark=args.high_watermark, feedback=feedback)
+        report = run_overload_experiment(config)
+        loop = "closed loop (feedback)" if feedback else "open loop"
+        print(format_table(
+            ["metric", "value"], [list(r) for r in report.rows()],
+            title=f"overload: {args.spike_factor:g}x spike "
+                  f"[{args.spike_start:g}s, "
+                  f"{args.spike_start + args.spike_duration:g}s) — {loop}"))
+        return report
+
+    run(False)
+    if not args.open_loop_only:
+        run(True)
     return 0
 
 

@@ -85,6 +85,7 @@ class BufferRegistry:
     def __init__(self) -> None:
         self._total = 0
         self._peak = 0
+        self._interval_peak = 0
         self._observer: Callable[[int], None] | None = None
         self._observers: list[Callable[[int], None]] = []
         #: Optional callback invoked with structured fields *before* an
@@ -128,10 +129,27 @@ class BufferRegistry:
         """Restart peak tracking from the current total (e.g. after warm-up)."""
         self._peak = self._total
 
+    def mark(self) -> None:
+        """Restart *interval* peak tracking (feedback sampling boundary).
+
+        The feedback controller samples occupancy once per engine wake-up;
+        :attr:`peak_since_mark` is the largest total seen since the previous
+        sample, so a burst that drains before the wake-up ends still
+        registers as pressure.
+        """
+        self._interval_peak = self._total
+
+    @property
+    def peak_since_mark(self) -> int:
+        """Largest total observed since the last :meth:`mark` (or ever)."""
+        return self._interval_peak
+
     def _delta(self, amount: int) -> None:
         self._total += amount
         if self._total > self._peak:
             self._peak = self._total
+        if self._total > self._interval_peak:
+            self._interval_peak = self._total
         if self._observer is not None:
             self._observer(self._total)
         for observer in self._observers:

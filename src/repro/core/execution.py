@@ -156,7 +156,8 @@ class ExecutionEngine:
                  monitor=None,
                  observers: Iterable[Observer] | None = None,
                  max_steps_per_round: int | None = None,
-                 checkpoint_every: int | None = None) -> None:
+                 checkpoint_every: int | None = None,
+                 feedback=None) -> None:
         if not graph.is_validated:
             graph.validate()
         if batch_size < 1:
@@ -183,6 +184,12 @@ class ExecutionEngine:
         #: engine free of any storage dependency.
         self.checkpoint_every = checkpoint_every
         self.checkpoint_hook: Callable[[int], None] | None = None
+        #: Optional :class:`~repro.feedback.FeedbackController` sampled at
+        #: the end of every wake-up.  None — the default — keeps the engine
+        #: entirely feedback-free (and byte-identical to pre-feedback runs).
+        self.feedback = feedback
+        if feedback is not None:
+            feedback.bind(graph, self)
         self.stats = EngineStats()
         self.ctx = OpContext(clock=clock)
         self._round_id = 0
@@ -273,6 +280,11 @@ class ExecutionEngine:
                     "round; livelock or undersized budget"
                 )
         self._refresh_idle()
+        if self.feedback is not None:
+            # Feedback sampling happens at quiescence: reactions only turn
+            # knobs (drop budgets, slack, admission rates) for *future*
+            # input, so the completed round's output is already settled.
+            self.feedback.sample(self.clock.now(), self._round_id)
         if self.monitor is not None:
             # Halt-mode monitors raise out of the wake-up; degrade-mode
             # violations are only counted (and traced by the monitor).
@@ -287,11 +299,14 @@ class ExecutionEngine:
 
     def snapshot_state(self) -> dict:
         """Versioned snapshot of engine progress (stats + round counter)."""
-        return {
+        state = {
             "version": 1,
             "round_id": self._round_id,
             "stats": self.stats.snapshot_state(),
         }
+        if self.feedback is not None:
+            state["feedback"] = self.feedback.snapshot_state()
+        return state
 
     def restore_state(self, state: dict) -> None:
         """Restore a snapshot produced by :meth:`snapshot_state`."""
@@ -299,6 +314,9 @@ class ExecutionEngine:
             raise ExecutionError(f"unsupported ExecutionEngine state: {state!r}")
         self._round_id = state["round_id"]
         self.stats.restore_state(state["stats"])
+        feedback_state = state.get("feedback")
+        if feedback_state is not None and self.feedback is not None:
+            self.feedback.restore_state(feedback_state)
 
     def run_to_quiescence(self) -> None:
         """Alias for ``wakeup()`` with no entry hint (useful in tests)."""

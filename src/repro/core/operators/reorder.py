@@ -62,11 +62,19 @@ class Reorder(Operator):
                 f"got {late!r}"
             )
         self.slack = float(slack)
+        #: The configured slack — the value feedback-driven narrowing
+        #: recovers toward when pressure relieves.
+        self.base_slack = float(slack)
         self.late_policy = late
         self._heap: list[tuple[float, int, DataTuple]] = []
         self._max_seen = LATENT_TS
         self._emitted_watermark = LATENT_TS
         self.late_dropped = 0
+
+    #: Fraction of ``base_slack`` surrendered at full pressure (1.0).  A
+    #: narrower slack parks fewer tuples and emits earlier — trading late-
+    #: drop risk for memory and latency while the system is overloaded.
+    FEEDBACK_NARROWING = 0.5
 
     @property
     def pending(self) -> int:
@@ -97,6 +105,7 @@ class Reorder(Operator):
             "max_seen": self._max_seen,
             "emitted_watermark": self._emitted_watermark,
             "late_dropped": self.late_dropped,
+            "slack": self.slack,
         }
 
     def restore_state(self, state: dict) -> None:
@@ -108,6 +117,29 @@ class Reorder(Operator):
         self._max_seen = state["max_seen"]
         self._emitted_watermark = state["emitted_watermark"]
         self.late_dropped = state["late_dropped"]
+        self.slack = state.get("slack", self.slack)
+
+    # ------------------------------------------------------------------ #
+    # Upstream feedback
+
+    def on_feedback(self, feedback, now: float):
+        """Narrow slack under pressure, recover toward base slack on relief.
+
+        At pressure ``p`` the live slack becomes
+        ``base_slack * (1 - FEEDBACK_NARROWING * p)``; each relief beat
+        closes half the remaining gap back to ``base_slack`` (snapping when
+        within 1%), so order tolerance returns gradually rather than
+        re-inflating the heap in one step.
+        """
+        if feedback.is_relief:
+            gap = self.base_slack - self.slack
+            self.slack = (self.base_slack if gap <= 0.01 * self.base_slack
+                          else self.base_slack - gap * 0.5)
+        else:
+            pressure = min(1.0, max(0.0, feedback.pressure))
+            self.slack = self.base_slack * (
+                1.0 - self.FEEDBACK_NARROWING * pressure)
+        return feedback
 
     # ------------------------------------------------------------------ #
 

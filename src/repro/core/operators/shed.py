@@ -20,6 +20,7 @@ Two policies:
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 from typing import Any
 
 from ..errors import ExecutionError
@@ -63,6 +64,12 @@ class Shed(StatelessOperator):
         self._rng = random.Random(seed)
         self.shed_count = 0
         self.passed_count = 0
+        #: Drop probability granted by upstream-flowing feedback (see
+        #: :mod:`repro.feedback`); the effective drop rate is the max of
+        #: the configured probability and this budget.  Stays 0.0 — and the
+        #: operator stays byte-identical to its pre-feedback behavior —
+        #: until a feedback wave actually carries a budget.
+        self.drop_budget = 0.0
 
     def snapshot_state(self) -> dict:
         """Versioned snapshot of RNG position and shed counters.
@@ -76,6 +83,7 @@ class Shed(StatelessOperator):
             "rng_state": self._rng.getstate(),
             "shed_count": self.shed_count,
             "passed_count": self.passed_count,
+            "drop_budget": self.drop_budget,
         }
 
     def restore_state(self, state: dict) -> None:
@@ -85,6 +93,7 @@ class Shed(StatelessOperator):
         self._rng.setstate(state["rng_state"])
         self.shed_count = state["shed_count"]
         self.passed_count = state["passed_count"]
+        self.drop_budget = state.get("drop_budget", 0.0)
 
     def _under_pressure(self) -> bool:
         if self.queue_threshold is None:
@@ -100,13 +109,37 @@ class Shed(StatelessOperator):
             return Operator.execute_batch(self, ctx, limit)
         return super().execute_batch(ctx, limit)
 
+    @property
+    def effective_probability(self) -> float:
+        """Drop rate in force: configured probability or feedback budget."""
+        if self.drop_budget > self.probability:
+            return self.drop_budget
+        return self.probability
+
     def apply(self, tup: DataTuple, ctx: OpContext) -> list[Any]:
-        if (self.probability > 0.0 and self._under_pressure()
-                and self._rng.random() < self.probability):
+        probability = self.effective_probability
+        if (probability > 0.0 and self._under_pressure()
+                and self._rng.random() < probability):
             self.shed_count += 1
             return []
         self.passed_count += 1
         return [tup]
+
+    def on_feedback(self, feedback, now: float):
+        """Adopt the wave's drop budget; absorb it from further upstream.
+
+        A pressure wave sets the budget directly; a relief wave halves it
+        (and snaps to zero below 1%), so shedding unwinds over a few relief
+        beats instead of cliff-dropping.  The forwarded assertion carries
+        ``drop_budget=0``: this operator consumed the budget, and upstream
+        shedders double-dropping the same tuples would overshoot.
+        """
+        if feedback.is_relief:
+            self.drop_budget = 0.0 if self.drop_budget < 0.01 \
+                else self.drop_budget * 0.5
+        else:
+            self.drop_budget = min(1.0, max(0.0, feedback.drop_budget))
+        return replace(feedback, drop_budget=0.0)
 
     @property
     def shed_fraction(self) -> float:

@@ -75,6 +75,11 @@ class SourceNode(Operator):
         #: stream's frontier — e.g. after a clock-skew fault outran the
         #: declared ``external_delta``.  None keeps the strict raise.
         self.quarantine = None
+        #: Optional admission throttle (any object with the
+        #: :class:`~repro.feedback.TokenBucketThrottle` ``admit``/
+        #: ``on_feedback`` signature).  None — the default — admits
+        #: everything, keeping the healthy path byte-identical.
+        self.throttle = None
         if out_of_order and timestamp_kind is not TimestampKind.EXTERNAL:
             raise TimestampError(
                 f"source {name!r}: only externally timestamped streams can "
@@ -87,6 +92,8 @@ class SourceNode(Operator):
         self.watermark = LATENT_TS
         self.ingested_count = 0
         self.punctuation_injected = 0
+        #: Records refused admission by the installed throttle.
+        self.throttled_count = 0
         #: Engine round in which this source last generated an on-demand ETS;
         #: bounds generation to once per wake-up (see execution module).
         self.last_ets_round = -1
@@ -123,8 +130,12 @@ class SourceNode(Operator):
 
         Returns:
             The :class:`DataTuple` that was pushed into the output buffer(s),
-            or None when an installed quarantine policy dropped the record.
+            or None when an installed quarantine policy dropped the record
+            or the admission throttle refused it.
         """
+        if self.throttle is not None and not self.throttle.admit(now):
+            self.throttled_count += 1
+            return None
         if self.validate_schema and self.output_schema is not None:
             try:
                 self.output_schema.validate(payload)
@@ -224,7 +235,7 @@ class SourceNode(Operator):
 
     def snapshot_state(self) -> dict:
         """Versioned snapshot of the stream frontier and counters."""
-        return {
+        state = {
             "version": 1,
             "last_data_ts": self.last_data_ts,
             "last_arrival_wall": self.last_arrival_wall,
@@ -232,7 +243,11 @@ class SourceNode(Operator):
             "ingested_count": self.ingested_count,
             "punctuation_injected": self.punctuation_injected,
             "last_ets_round": self.last_ets_round,
+            "throttled_count": self.throttled_count,
         }
+        if self.throttle is not None:
+            state["throttle"] = self.throttle.snapshot_state()
+        return state
 
     def restore_state(self, state: dict) -> None:
         """Restore a snapshot produced by :meth:`snapshot_state`."""
@@ -244,6 +259,24 @@ class SourceNode(Operator):
         self.ingested_count = state["ingested_count"]
         self.punctuation_injected = state["punctuation_injected"]
         self.last_ets_round = state["last_ets_round"]
+        self.throttled_count = state.get("throttled_count", 0)
+        throttle_state = state.get("throttle")
+        if throttle_state is not None and self.throttle is not None:
+            self.throttle.restore_state(throttle_state)
+
+    # ------------------------------------------------------------------ #
+    # Upstream feedback
+
+    def on_feedback(self, feedback, now: float):
+        """Forward feedback to the admission throttle (AIMD endpoint).
+
+        Sources terminate the upstream propagation, so the return value is
+        the unchanged assertion (nothing lies further upstream to receive
+        it).
+        """
+        if self.throttle is not None:
+            self.throttle.on_feedback(feedback)
+        return feedback
 
     # ------------------------------------------------------------------ #
     # Operator contract (sources never execute)

@@ -2,6 +2,7 @@
 
 from .chaos import ChaosConfig, ChaosReport, run_chaos_experiment
 from .crash import CrashConfig, CrashReport, run_crash_experiment
+from .overload import OverloadConfig, OverloadReport, run_overload_experiment
 from .figures import (
     DEFAULT_HEARTBEAT_RATES,
     SweepResult,
@@ -34,6 +35,8 @@ __all__ = [
     "CrashReport",
     "DEFAULT_HEARTBEAT_RATES",
     "ExperimentResult",
+    "OverloadConfig",
+    "OverloadReport",
     "SweepResult",
     "figure7",
     "figure8",
@@ -45,6 +48,7 @@ __all__ = [
     "run_chaos_experiment",
     "run_crash_experiment",
     "run_join_experiment",
+    "run_overload_experiment",
     "run_sweep",
     "run_union_experiment",
     "run_validation",

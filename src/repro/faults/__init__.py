@@ -5,7 +5,7 @@ Three layers, usable independently and designed to compose:
 * :mod:`repro.faults.plan` — seeded, composable fault specs
   (:class:`FaultPlan`) that wrap arrival schedules and punctuation paths:
   source outages, clock-skew spikes, drops, duplicates, out-of-order
-  bursts, punctuation loss/delay;
+  bursts, punctuation loss/delay, load spikes, and slow sinks;
 * :mod:`repro.faults.degrade` — the degradation ladder
   (:class:`StallDetector` → :class:`FallbackHeartbeat` →
   :class:`QuarantinePolicy`) that keeps the engine live and crash-free
@@ -24,11 +24,13 @@ from .plan import (
     FaultPlan,
     FaultSpec,
     FaultStats,
+    LoadSpike,
     OutOfOrderBurst,
     ProcessCrash,
     PunctuationDelay,
     PunctuationLoss,
     SimulatedCrash,
+    SlowSink,
     SourceOutage,
 )
 
@@ -41,12 +43,14 @@ __all__ = [
     "FaultSpec",
     "FaultStats",
     "InvariantMonitor",
+    "LoadSpike",
     "OutOfOrderBurst",
     "ProcessCrash",
     "PunctuationDelay",
     "PunctuationLoss",
     "QuarantinePolicy",
     "SimulatedCrash",
+    "SlowSink",
     "SourceOutage",
     "StallDetector",
 ]

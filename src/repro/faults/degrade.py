@@ -74,6 +74,15 @@ class StallDetector(Observer):
         self.stalls = 0
         self.recoveries = 0
         self.on_recovery = None
+        #: Optional ``() -> float`` returning the live feedback pressure
+        #: (:attr:`repro.feedback.FeedbackController.pressure`); wired by
+        #: the kernel when a controller is installed.  Under pressure the
+        #: effective timeout stretches (see :attr:`pressure_timeout_scale`)
+        #: — a backpressure-throttled source is *slow*, not *dead*, and
+        #: degrading it to heartbeats would misread congestion as a stall.
+        self.pressure_provider = None
+        #: Extra timeout fraction granted at full pressure (1.0 doubles it).
+        self.pressure_timeout_scale = 1.0
         self._last_activity: dict[str, float] = {}
 
     def on_arrival(self, *, operator: str, time: float,
@@ -109,11 +118,22 @@ class StallDetector(Observer):
             return True
         return False
 
+    def effective_timeout(self) -> float:
+        """The silence timeout, stretched by live feedback pressure."""
+        if self.pressure_provider is None:
+            return self.timeout
+        pressure = self.pressure_provider()
+        if pressure <= 0.0:
+            return self.timeout
+        return self.timeout * (1.0 + self.pressure_timeout_scale
+                               * min(1.0, pressure))
+
     def poll(self, now: float) -> list[str]:
         """Return sources that crossed the silence timeout since last poll."""
         newly_stalled = []
+        timeout = self.effective_timeout()
         for name, last in self._last_activity.items():
-            if name not in self.stalled and now - last >= self.timeout:
+            if name not in self.stalled and now - last >= timeout:
                 self.stalled.add(name)
                 self.stalls += 1
                 newly_stalled.append(name)
@@ -159,6 +179,11 @@ class FallbackHeartbeat(EtsPolicy):
         self.degradations = 0
         self.resyncs = 0
         self.fallback_heartbeats = 0
+        #: Optional live pressure view (wired by the kernel alongside a
+        #: feedback controller).  Fallback trains *add* punctuation work
+        #: downstream, so under pressure the train slows down — see
+        #: :meth:`heartbeat_period_now`.
+        self.pressure_provider = None
 
     # -- healthy path: pure delegation ---------------------------------- #
 
@@ -186,6 +211,20 @@ class FallbackHeartbeat(EtsPolicy):
         self.degraded.discard(source_name)
         self.resyncs += 1
         return True
+
+    def heartbeat_period_now(self) -> float:
+        """The train period in force: base period stretched by pressure.
+
+        At full pressure the period doubles; with no provider (or no
+        pressure) this is exactly :attr:`heartbeat_period`, keeping
+        feedback-free runs byte-identical.
+        """
+        if self.pressure_provider is None:
+            return self.heartbeat_period
+        pressure = self.pressure_provider()
+        if pressure <= 0.0:
+            return self.heartbeat_period
+        return self.heartbeat_period * (1.0 + min(1.0, pressure))
 
     def heartbeat_ts(self, source: SourceNode, now: float) -> float | None:
         """The punctuation value for one fallback heartbeat, or None."""
@@ -219,11 +258,26 @@ class QuarantinePolicy:
 
     MODES = ("raise", "drop", "clamp")
 
-    def __init__(self, mode: str = "raise") -> None:
+    def __init__(self, mode: str = "raise", *,
+                 overload_mode: str | None = None,
+                 overload_threshold: float = 0.5) -> None:
         if mode not in self.MODES:
             raise PolicyError(
                 f"quarantine mode must be one of {self.MODES}, got {mode!r}")
+        if overload_mode is not None and overload_mode not in self.MODES:
+            raise PolicyError(
+                f"quarantine overload_mode must be one of {self.MODES}, "
+                f"got {overload_mode!r}")
         self.mode = mode
+        #: Mode substituted while feedback pressure is at or above
+        #: :attr:`overload_threshold` — e.g. a ``"clamp"`` policy that
+        #: switches to ``"drop"`` under overload, because clamped admissions
+        #: still cost downstream work the system cannot absorb.  None (the
+        #: default) keeps one mode regardless of pressure.
+        self.overload_mode = overload_mode
+        self.overload_threshold = overload_threshold
+        #: Optional live pressure view, wired by the kernel.
+        self.pressure_provider = None
         self.dropped = 0
         self.clamped = 0
         self.raised = 0
@@ -259,13 +313,18 @@ class QuarantinePolicy:
         Returns the admitted (possibly clamped) timestamp, None to drop the
         tuple, or raises in ``"raise"`` mode.
         """
-        if self.mode == "drop":
+        mode = self.mode
+        if (self.overload_mode is not None
+                and self.pressure_provider is not None
+                and self.pressure_provider() >= self.overload_threshold):
+            mode = self.overload_mode
+        if mode == "drop":
             self.dropped += 1
             if self._stats is not None:
                 self._stats.quarantine_dropped += 1
             self._trace(source_name, f"drop ts={ts} floor={floor}", now)
             return None
-        if self.mode == "clamp":
+        if mode == "clamp":
             self.clamped += 1
             if self._stats is not None:
                 self._stats.quarantine_clamped += 1

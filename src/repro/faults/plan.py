@@ -40,11 +40,13 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultStats",
+    "LoadSpike",
     "OutOfOrderBurst",
     "ProcessCrash",
     "PunctuationDelay",
     "PunctuationLoss",
     "SimulatedCrash",
+    "SlowSink",
     "SourceOutage",
 ]
 
@@ -88,6 +90,8 @@ class FaultStats:
     punctuation_dropped: int = 0
     punctuation_delayed: int = 0
     crashes: int = 0
+    spiked: int = 0
+    slowed: int = 0
 
     @property
     def data_lost(self) -> int:
@@ -301,6 +305,123 @@ class OutOfOrderBurst(FaultSpec):
                     - rng.uniform(0.0, self.max_disorder))
             else:
                 yield arrival
+
+
+@dataclass(frozen=True)
+class LoadSpike(FaultSpec):
+    """An arrival-rate burst: the window's tuples land ``factor``× faster.
+
+    Arrival times inside ``[start, start + duration)`` are compressed
+    toward the window's start (``t' = start + (t - start) / factor``), so
+    the same tuples arrive in ``1/factor`` of the time — the overload
+    shape that exercises backpressure (:mod:`repro.feedback`).  External
+    timestamps are untouched (the *data* did not change, only its arrival
+    rate) and compression preserves arrival order, so the spec composes
+    with strictly ordered sources.
+    """
+
+    source: str
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        if self.factor < 1.0:
+            raise WorkloadError(
+                f"spike factor must be >= 1, got {self.factor}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def wrap(self, arrivals: Iterator[Arrival], rng: random.Random,
+             stats: FaultStats) -> Iterator[Arrival]:
+        for arrival in arrivals:
+            if self.start <= arrival.time < self.end:
+                stats.spiked += 1
+                yield Arrival(
+                    time=self.start + (arrival.time - self.start) / self.factor,
+                    payload=arrival.payload,
+                    external_ts=arrival.external_ts)
+            else:
+                yield arrival
+
+
+class _SlowSinkCostModel:
+    """Cost-model interposition that inflates one operator's step costs."""
+
+    def __init__(self, inner, spec: "SlowSink", clock,
+                 stats: FaultStats) -> None:
+        self.inner = inner
+        self.spec = spec
+        self.clock = clock
+        self.stats = stats
+        self.per_probe = inner.per_probe
+        self.ets_generation = inner.ets_generation
+        self.heartbeat_injection = inner.heartbeat_injection
+        self.scheduling_overhead = inner.scheduling_overhead
+
+    def _inflate(self, op, cost: float, count: int) -> float:
+        now = self.clock.now()
+        if op.name == self.spec.source and self.spec.start <= now < self.spec.end:
+            self.stats.slowed += count
+            return cost * self.spec.factor + self.spec.extra * count
+        return cost
+
+    def step_cost(self, op, result) -> float:
+        return self._inflate(op, self.inner.step_cost(op, result), 1)
+
+    def batch_cost(self, op, batch) -> float:
+        count = batch.consumed_data + batch.consumed_punctuation
+        return self._inflate(op, self.inner.batch_cost(op, batch),
+                             count if count else 1)
+
+
+@dataclass(frozen=True)
+class SlowSink(FaultSpec):
+    """The named operator's per-tuple cost inflates inside the window.
+
+    ``source`` names the *operator* to slow — conventionally a sink
+    (consumer backpressure: a congested downstream client), though any
+    operator name works.  During ``[start, start + duration)`` each of
+    its steps costs ``cost * factor + extra`` simulated seconds.  An
+    install-level spec: it interposes on the simulation engine's cost
+    model, so the simulation must run with one
+    (``cost_model=None`` raises).
+    """
+
+    source: str
+    start: float
+    duration: float
+    factor: float = 1.0
+    extra: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        if self.factor < 1.0:
+            raise WorkloadError(
+                f"slowdown factor must be >= 1, got {self.factor}")
+        if self.extra < 0.0:
+            raise WorkloadError(
+                f"extra cost must be non-negative, got {self.extra}")
+        if self.factor == 1.0 and self.extra == 0.0:
+            raise WorkloadError(
+                "SlowSink needs factor > 1 or extra > 0 to slow anything")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def install(self, sim: Simulation, rng: random.Random,
+                stats: FaultStats) -> None:
+        model = sim.engine.cost_model
+        if model is None:
+            raise WorkloadError(
+                "SlowSink interposes on the cost model; the simulation "
+                "runs with cost_model=None (purely logical time)")
+        sim.engine.cost_model = _SlowSinkCostModel(
+            model, self, sim.clock, stats)
 
 
 @dataclass(frozen=True)

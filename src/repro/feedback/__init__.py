@@ -1,0 +1,18 @@
+"""Closed-loop backpressure: upstream feedback punctuation and reactions.
+
+See DESIGN.md section 4h.  The public pieces:
+
+* :class:`FeedbackController` — per-engine hysteresis sampler emitting
+  :class:`~repro.core.tuples.FeedbackPunctuation` waves;
+* :func:`propagate_feedback` — reverse-topological max-combine delivery;
+* :class:`TokenBucketThrottle` — AIMD admission control for sources.
+"""
+
+from .controller import FeedbackController, propagate_feedback
+from .throttle import TokenBucketThrottle
+
+__all__ = [
+    "FeedbackController",
+    "TokenBucketThrottle",
+    "propagate_feedback",
+]

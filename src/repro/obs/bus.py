@@ -44,6 +44,7 @@ HOOKS = (
     "on_checkpoint",
     "on_recovery",
     "on_shard",
+    "on_feedback",
 )
 
 
@@ -141,8 +142,24 @@ class Observer:
         ``"wakeup"`` (``shard`` quiesced advertising ``frontier``, having
         delivered ``count`` records), ``"frontier"`` (``shard`` is ``-1``:
         the global min frontier moved and ``count`` records were released
-        by the merge), or ``"recovery"`` (``shard`` was restored to
-        ``frontier`` after replaying ``count`` ingests).
+        by the merge), ``"retry"`` (a shard operation missed its timeout
+        and is being re-polled with backoff), ``"clamp"`` (the global
+        pressure view was broadcast back to ``count`` shards), or
+        ``"recovery"`` (``shard`` was restored to ``frontier`` after
+        replaying ``count`` ingests).
+        """
+
+    def on_feedback(self, *, kind: str, round_id: int, time: float,
+                    pressure: float = 0.0, depth: int = 0,
+                    drop_budget: float = 0.0, sink_latency: float = 0.0,
+                    frontier_lag: float = 0.0, origin: str = "") -> None:
+        """A feedback-controller wave (:mod:`repro.feedback`).
+
+        ``kind`` is ``"pressure"`` (an overload wave propagated upstream
+        carrying ``pressure``/``drop_budget``), ``"relief"`` (a
+        deactivation/unwind beat with pressure zero), or ``"clamp"`` (a
+        wave forced by an externally broadcast global pressure view —
+        see :meth:`repro.feedback.FeedbackController.clamp`).
         """
 
 
@@ -227,6 +244,9 @@ class EventBus:
 
     def shard(self, **kw) -> None:
         self._emit("on_shard", kw)
+
+    def feedback(self, **kw) -> None:
+        self._emit("on_feedback", kw)
 
 
 class NullBus(EventBus):

@@ -256,8 +256,21 @@ class MetricsRegistry(Observer):
                                 "(shard=global is the min gate)")
         self.shard_recoveries = c("repro_shard_recoveries_total",
                                   "Per-shard recoveries from disk")
+        self.shard_retries = c("repro_shard_retries_total",
+                               "Backoff retries on shard operation timeouts")
         self.shard_stat = g("repro_shard_stat",
                             "Absorbed end-of-run sharded-engine figures")
+        self.feedback_waves = c("repro_feedback_waves_total",
+                                "Feedback waves propagated upstream, by kind")
+        self.feedback_pressure = g("repro_feedback_pressure",
+                                   "Last feedback pressure emitted [0, 1]",
+                                   track_max=True)
+        self.feedback_depth = g("repro_feedback_depth",
+                                "Buffer depth sampled by the last wave",
+                                track_max=True)
+        self.feedback_drop_budget = g(
+            "repro_feedback_drop_budget",
+            "Drop budget carried by the last wave", track_max=True)
         # Absorbed end-of-run aggregates.
         self.idle_wait = g("repro_idle_wait_seconds",
                            "Idle-waiting time per IWP operator")
@@ -387,8 +400,18 @@ class MetricsRegistry(Observer):
                 self.shard_released.inc(count)
             if frontier is not None and frontier != float("-inf"):
                 self.shard_frontier.set(frontier, shard="global")
+        elif kind == "retry":
+            self.shard_retries.inc(shard=shard)
         elif kind == "recovery":
             self.shard_recoveries.inc(shard=shard)
+
+    def on_feedback(self, *, kind, round_id, time, pressure=0.0, depth=0,
+                    drop_budget=0.0, sink_latency=0.0, frontier_lag=0.0,
+                    origin="") -> None:
+        self.feedback_waves.inc(kind=kind)
+        self.feedback_pressure.set(pressure)
+        self.feedback_depth.set(depth)
+        self.feedback_drop_budget.set(drop_budget)
 
     # ------------------------------------------------------------------ #
     # Derived figures

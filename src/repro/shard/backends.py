@@ -59,7 +59,13 @@ class ShardTimeoutError(ShardError):
 
 @dataclass(slots=True)
 class ShardResult:
-    """What one shard reports after applying a wake-up's commands."""
+    """What one shard reports after applying a wake-up's commands.
+
+    ``pressure`` is the shard's feedback-controller view after the
+    wake-up (0.0 when the shard runs without a controller); ``clamp``
+    echoes the global pressure the facade broadcast with the command, so
+    tests can bound clamp staleness across process boundaries.
+    """
 
     shard: int
     outputs: list[tuple[str, float, Any]]
@@ -68,6 +74,8 @@ class ShardResult:
     punctuated: int = 0
     rounds: int = 0
     steps: int = 0
+    pressure: float = 0.0
+    clamp: float | None = None
 
 
 @dataclass(slots=True)
@@ -99,6 +107,10 @@ class EngineShard:
         checkpoint_every: Checkpoint cadence in engine rounds (forwarded).
         disorder_bound: Slack subtracted from out-of-order sources'
             horizons when computing the frontier.
+        feedback_factory: Per-shard
+            :class:`~repro.feedback.FeedbackController` factory
+            (controllers hold hysteresis state and cannot be shared across
+            engines); None disables closed-loop feedback for the shard.
     """
 
     def __init__(self, index: int, build: Callable[[], Any], *,
@@ -106,7 +118,8 @@ class EngineShard:
                  batch_size: int = 1,
                  state_dir: str | Path | None = None,
                  checkpoint_every: int | None = None,
-                 disorder_bound: float = 0.0) -> None:
+                 disorder_bound: float = 0.0,
+                 feedback_factory: Callable[[], Any] | None = None) -> None:
         from ..recovery import RecoveryManager
 
         self.index = index
@@ -114,9 +127,12 @@ class EngineShard:
         self.clock = VirtualClock()
         self.disorder_bound = disorder_bound
         policy = ets_policy_factory() if ets_policy_factory else NoEts()
+        feedback = feedback_factory() if feedback_factory else None
         self.engine = ExecutionEngine(
             self.graph, self.clock, cost_model=None, ets_policy=policy,
-            batch_size=batch_size, checkpoint_every=checkpoint_every)
+            batch_size=batch_size, checkpoint_every=checkpoint_every,
+            feedback=feedback)
+        self.feedback = self.engine.feedback
         self._outputs: list[tuple[str, float, Any]] = []
         for sink in sorted(self.graph.sinks(), key=lambda s: s.name):
             self._wrap_sink(sink)
@@ -147,14 +163,22 @@ class EngineShard:
 
     def apply(self, ingests: Sequence[IngestCommand],
               punctuations: Sequence[PunctuationCommand],
-              now: float) -> ShardResult:
+              now: float, clamp: float | None = None) -> ShardResult:
         """Ingest routed tuples, broadcast punctuation, run to quiescence.
 
         An idle shard (no commands) only advances its clock — its frontier
         still moves for internally stamped sources, which is what keeps a
         key-skewed workload from pinning the global gate, without paying a
         WAL wake-up record per idle shard.
+
+        ``clamp``, when set and the shard has a feedback controller, is
+        the facade's aggregated global pressure view; it is applied
+        *before* this wake-up's ingests so source throttles and shed
+        budgets see the fleet state first.
         """
+        if clamp is not None and self.feedback is not None:
+            self.feedback.clamp(clamp, self.clock.now(),
+                                self.engine.round_id)
         entry = None
         for source, payload, arrival, external_ts in ingests:
             self.clock.advance_to(arrival)
@@ -175,7 +199,10 @@ class EngineShard:
         return ShardResult(
             shard=self.index, outputs=drained, frontier=self.frontier(),
             ingested=len(ingests), punctuated=len(punctuations),
-            rounds=self.engine.stats.rounds, steps=self.engine.stats.steps)
+            rounds=self.engine.stats.rounds, steps=self.engine.stats.steps,
+            pressure=(self.feedback.pressure
+                      if self.feedback is not None else 0.0),
+            clamp=clamp)
 
     def frontier(self) -> float:
         return shard_frontier(self.graph, self.clock,
@@ -303,15 +330,24 @@ class ProcessBackend:
     Requires the ``fork`` start method (the graph factory and ETS policy
     factory travel by inheritance, not pickling), so this backend is
     POSIX-only.  Every reply is awaited with ``op_timeout``; a shard that
-    fails to answer — deadlocked, killed, or crashed — raises
-    :class:`ShardTimeoutError` / :class:`ShardError` instead of blocking.
+    misses it is re-polled up to ``retry_limit`` times with a doubled
+    (jitter-free) timeout per attempt — a transient stall (GC pause,
+    scheduler hiccup, cold page-in) recovers without losing the worker —
+    and only a shard that exhausts the retries is terminated and raised
+    as :class:`ShardTimeoutError` / :class:`ShardError`.
+
+    Attributes:
+        retries: Total re-poll attempts across all shards and operations.
+        on_retry: Optional ``(shard, op, attempt, timeout)`` callback
+            invoked before each re-poll (the facade wires it to the event
+            bus and the ``repro_shard_retries_total`` metric).
     """
 
     kind = "process"
 
     def __init__(self, shard_count: int, make_args: Callable[[int],
                  tuple[Callable[[], Any], dict]], *,
-                 op_timeout: float = 60.0) -> None:
+                 op_timeout: float = 60.0, retry_limit: int = 1) -> None:
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -319,6 +355,9 @@ class ProcessBackend:
                 "the process backend needs the 'fork' start method; "
                 "use backend='thread' on this platform") from None
         self.op_timeout = op_timeout
+        self.retry_limit = max(0, int(retry_limit))
+        self.retries = 0
+        self.on_retry: Callable[[int, str, int, float], None] | None = None
         self._conns = []
         self._procs = []
         for index in range(shard_count):
@@ -334,11 +373,21 @@ class ProcessBackend:
 
     def _recv(self, index: int, op: str):
         conn = self._conns[index]
-        if not conn.poll(self.op_timeout):
+        answered = conn.poll(self.op_timeout)
+        attempt = 0
+        timeout = self.op_timeout
+        while not answered and attempt < self.retry_limit:
+            attempt += 1
+            timeout *= 2.0
+            self.retries += 1
+            if self.on_retry is not None:
+                self.on_retry(index, op, attempt, timeout)
+            answered = conn.poll(timeout)
+        if not answered:
             self._procs[index].terminate()
             raise ShardTimeoutError(
                 f"shard {index} did not answer {op!r} within "
-                f"{self.op_timeout}s (terminated)")
+                f"{self.op_timeout}s + {attempt} retries (terminated)")
         try:
             status, value = conn.recv()
         except EOFError:
@@ -388,7 +437,8 @@ BACKENDS = ("serial", "thread", "process")
 def make_backend(kind: str, shard_count: int, *,
                  build: Callable[[], Any],
                  shard_kwargs: Callable[[int], dict],
-                 op_timeout: float = 60.0):
+                 op_timeout: float = 60.0,
+                 retry_limit: int = 1):
     """Construct a backend by name (the facade's single switch point)."""
     if kind in ("serial", "thread"):
         cls = SerialBackend if kind == "serial" else ThreadBackend
@@ -401,6 +451,7 @@ def make_backend(kind: str, shard_count: int, *,
         def make_args(index: int):
             return build, shard_kwargs(index)
 
-        return ProcessBackend(shard_count, make_args, op_timeout=op_timeout)
+        return ProcessBackend(shard_count, make_args, op_timeout=op_timeout,
+                              retry_limit=retry_limit)
     raise ReproError(f"unknown shard backend {kind!r}; "
                      f"expected one of {BACKENDS}")

@@ -103,6 +103,15 @@ class ShardedEngine:
         op_timeout: Per-shard operation timeout (seconds) enforced by the
             thread and process backends.
         disorder_bound: Frontier slack for out-of-order sources.
+        feedback_factory: Builds one
+            :class:`~repro.feedback.FeedbackController` per shard.  When
+            set, each wake-up aggregates the shards' pressure views into a
+            global maximum and broadcasts it back as a *clamp* with the
+            next wake-up's commands — so every shard reacts to fleet-wide
+            overload with a staleness of at most one wake-up.  None (the
+            default) keeps the open-loop behavior byte-identical.
+        retry_limit: Bounded re-poll attempts per operation for the
+            process backend (see :class:`ProcessBackend`).
     """
 
     def __init__(self, build: Callable[[], Any], *, shards: int,
@@ -114,7 +123,9 @@ class ShardedEngine:
                  checkpoint_every: int | None = None,
                  observers=None,
                  op_timeout: float = 60.0,
-                 disorder_bound: float = 0.0) -> None:
+                 disorder_bound: float = 0.0,
+                 feedback_factory: Callable[[], Any] | None = None,
+                 retry_limit: int = 1) -> None:
         if backend not in BACKENDS:
             raise ReproError(f"unknown shard backend {backend!r}; "
                              f"expected one of {BACKENDS}")
@@ -131,6 +142,9 @@ class ShardedEngine:
         self.ingested = 0
         self.wakeups = 0
         self._closed = False
+        self.feedback_enabled = feedback_factory is not None
+        self.global_pressure = 0.0
+        self.clamps_broadcast = 0
 
         def shard_kwargs(index: int) -> dict:
             shard_state = (None if self.state_dir is None
@@ -141,13 +155,25 @@ class ShardedEngine:
                 "state_dir": shard_state,
                 "checkpoint_every": checkpoint_every,
                 "disorder_bound": disorder_bound,
+                "feedback_factory": feedback_factory,
             }
 
         self._shard_kwargs = shard_kwargs
         self._build = build
         self.backend = make_backend(backend, shards, build=build,
                                     shard_kwargs=shard_kwargs,
-                                    op_timeout=op_timeout)
+                                    op_timeout=op_timeout,
+                                    retry_limit=retry_limit)
+        if hasattr(self.backend, "on_retry"):
+            self.backend.on_retry = self._note_retry
+
+    def _note_retry(self, shard: int, op: str, attempt: int,
+                    timeout: float) -> None:
+        """Backend retry hook → ``on_shard(kind="retry")`` bus event."""
+        if self.bus is not None:
+            self.bus.shard(kind="retry", shard=shard, time=self._drive_now,
+                           count=attempt,
+                           detail=f"{op} re-polled with {timeout:g}s")
 
     # ------------------------------------------------------------------ #
     # Routing (the shuffle)
@@ -183,13 +209,31 @@ class ShardedEngine:
         Returns the records released by the frontier gate this round, as
         ``(ts, shard, seq, sink, payload)`` tuples in global timestamp
         order.
+
+        With ``feedback_factory`` set, the previous wake-up's aggregated
+        pressure view rides along as a clamp (bounded staleness: one
+        wake-up) and this wake-up's per-shard pressures are folded into
+        the next view.
         """
+        clamp = self.global_pressure if self.feedback_enabled else None
         commands = [(self._pending_ingests[i], self._pending_puncts,
-                     self._drive_now) for i in range(self.shard_count)]
+                     self._drive_now, clamp)
+                    for i in range(self.shard_count)]
         self._pending_ingests = [[] for _ in range(self.shard_count)]
         self._pending_puncts = []
         results: list[ShardResult] = self.backend.apply_all(commands)
         self.wakeups += 1
+        if clamp is not None and clamp > 0.0:
+            self.clamps_broadcast += 1
+        if self.feedback_enabled:
+            previous = self.global_pressure
+            self.global_pressure = max(
+                (r.pressure for r in results), default=0.0)
+            if self.bus is not None and self.global_pressure != previous:
+                self.bus.shard(
+                    kind="clamp", shard=-1, time=self._drive_now,
+                    frontier=self.global_pressure, count=self.shard_count,
+                    detail=f"pressure={self.global_pressure:.3f}")
         for result in results:
             self.tracker.advertise(result.shard, result.frontier)
             self.merge.offer(result.shard, result.outputs)
@@ -297,6 +341,9 @@ class ShardedEngine:
             "pending": self.merge.pending,
             "frontier": self.tracker.global_frontier(),
             "frontier_spread": self.tracker.spread(),
+            "pressure": self.global_pressure,
+            "clamps_broadcast": self.clamps_broadcast,
+            "retries": getattr(self.backend, "retries", 0),
             "per_shard": [
                 {"shard": s.shard, "ingested": s.ingested,
                  "delivered": s.delivered, "frontier": s.frontier}

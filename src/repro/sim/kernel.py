@@ -109,6 +109,7 @@ class Simulation:
                  batch_size: int = 1,
                  stall_detector=None,
                  quarantine=None,
+                 feedback=None,
                  monitor=None,
                  observers: list[Observer] | None = None,
                  max_steps_per_round: int | None = None,
@@ -129,6 +130,8 @@ class Simulation:
         merged_kwargs = dict(engine_kwargs or {})
         if batch_size != 1:
             merged_kwargs.setdefault("batch_size", batch_size)
+        if feedback is not None:
+            merged_kwargs.setdefault("feedback", feedback)
         if checkpoint_every is not None:
             merged_kwargs.setdefault("checkpoint_every", checkpoint_every)
         obs_list = list(observers or [])
@@ -171,6 +174,20 @@ class Simulation:
                             bus=self.engine.bus)
             for source in graph.sources():
                 source.quarantine = quarantine
+        #: The feedback controller (if any) — the same object the engine
+        #: samples each wake-up.  When present, the degradation ladder's
+        #: components get its live pressure view wired in (unless the
+        #: caller installed a provider of their own): stall timeouts
+        #: stretch, fallback trains slow down, and quarantine can switch
+        #: mode while the system is genuinely overloaded.
+        self.feedback = self.engine.feedback
+        if self.feedback is not None:
+            provider = lambda: self.feedback.pressure  # noqa: E731
+            for component in (stall_detector, quarantine, ets_policy):
+                if (component is not None
+                        and hasattr(component, "pressure_provider")
+                        and component.pressure_provider is None):
+                    component.pressure_provider = provider
         self._arrival_iters: dict[str, Iterator[Arrival]] = {}
         self._horizon = float("inf")
         self._started = False
@@ -370,7 +387,9 @@ class Simulation:
                                       round_id=self.engine.round_id,
                                       time=self.clock.now(),
                                       origin="fallback", ts=ts)
-            self._schedule_fallback(source, when + policy.heartbeat_period)
+            period = getattr(policy, "heartbeat_period_now",
+                             lambda: policy.heartbeat_period)()
+            self._schedule_fallback(source, when + period)
             return source
 
         self.events.schedule(when, fire)
@@ -469,4 +488,7 @@ class Simulation:
             "quarantine_dropped": stats.quarantine_dropped,
             "quarantine_clamped": stats.quarantine_clamped,
             "invariant_violations": stats.invariant_violations,
+            "throttled": sum(s.throttled_count
+                             for s in self.graph.sources()),
+            **(self.feedback.summary() if self.feedback is not None else {}),
         }
