@@ -2,8 +2,9 @@
 
 Stream Mill's selling point was "power and extensibility" through its query
 language (the paper's reference [3]).  This example writes the paper's
-experiment as a textual program, compiles it, attaches workloads, and runs
-it under on-demand ETS — no Python graph wiring at all.
+experiment as a textual program, compiles it into a
+:class:`~repro.api.Pipeline` with :meth:`Pipeline.from_program`, attaches
+workloads, and runs it under on-demand ETS — no Python graph wiring at all.
 
 Run with::
 
@@ -15,10 +16,8 @@ from __future__ import annotations
 import random
 
 from repro.api import (
-    CostModel,
     OnDemandEts,
-    Simulation,
-    compile_query,
+    Pipeline,
     format_table,
     poisson_arrivals,
     uniform_value_payloads,
@@ -48,21 +47,22 @@ DURATION = 120.0
 def main() -> None:
     print("compiling program:")
     print(PROGRAM)
-    compiled = compile_query(PROGRAM, name="paper-in-esl")
-    print(compiled.graph.describe())
+    pipeline = Pipeline.from_program(PROGRAM, name="paper-in-esl")
+    print(pipeline.graph.describe())
     print()
 
-    sim = Simulation(compiled.graph, ets_policy=OnDemandEts())
-    sim.attach_arrivals(compiled.sources["fast"], poisson_arrivals(
-        50.0, random.Random(1),
-        payloads=uniform_value_payloads(random.Random(2))))
-    sim.attach_arrivals(compiled.sources["slow"], poisson_arrivals(
-        0.05, random.Random(3),
-        payloads=uniform_value_payloads(random.Random(4))))
-    sim.run(until=DURATION)
+    sim = (pipeline
+           .engine(ets_policy=OnDemandEts)
+           .feed("fast", poisson_arrivals(
+               50.0, random.Random(1),
+               payloads=uniform_value_payloads(random.Random(2))))
+           .feed("slow", poisson_arrivals(
+               0.05, random.Random(3),
+               payloads=uniform_value_payloads(random.Random(4))))
+           .run(until=DURATION))
 
-    events = compiled.sinks["events"]
-    summary = compiled.sinks["summary"]
+    events = pipeline.sinks["events"]
+    summary = pipeline.sinks["summary"]
     rows = [
         ["events", events.delivered, events.mean_latency * 1e3],
         ["summary", summary.delivered, summary.mean_latency * 1e3],

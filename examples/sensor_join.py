@@ -12,6 +12,9 @@ ETS keeps them moving — and, as a bonus, the ETS punctuation expires the
 join windows (bounding state) and closes the aggregate's tumbling windows
 on time.
 
+The query is built with :class:`~repro.api.Pipeline` — note
+``window_join``, the explicit spelling of the join combinator.
+
 Run with::
 
     python examples/sensor_join.py
@@ -28,8 +31,7 @@ from repro.api import (
     Count,
     NoEts,
     OnDemandEts,
-    Query,
-    Simulation,
+    Pipeline,
     WindowSpec,
     format_table,
     poisson_arrivals,
@@ -39,25 +41,6 @@ VIBRATION_RATE = 5.0     # readings per second
 SERVICE_RATE = 0.02      # service events per second (one per ~50 s)
 JOIN_WINDOW = 30.0       # seconds around a service event
 DURATION = 600.0
-
-
-def build():
-    q = Query("sensors")
-    vibration = q.source("vibration")
-    maintenance = q.source("maintenance")
-    correlated = vibration.join(
-        maintenance, WindowSpec.time(JOIN_WINDOW),
-        predicate=lambda v, m: v["machine"] == m["machine"],
-        name="near_service")
-    summary = correlated.tumbling(
-        60.0,
-        {"readings": AggSpec(Count), "mean_level": AggSpec(Avg, "level")},
-        name="per_minute")
-    results = []
-    sink = summary.sink("ops",
-                        on_output=lambda tup, lat: results.append(tup))
-    return (q.build(), vibration.source_node, maintenance.source_node,
-            sink, results)
 
 
 def vibration_payloads():
@@ -76,14 +59,28 @@ def maintenance_payloads():
 
 
 def run(policy):
-    graph, vibration, maintenance, sink, results = build()
-    sim = Simulation(graph, ets_policy=policy)
-    sim.attach_arrivals(vibration, poisson_arrivals(
-        VIBRATION_RATE, random.Random(1), payloads=vibration_payloads()))
-    sim.attach_arrivals(maintenance, poisson_arrivals(
-        SERVICE_RATE, random.Random(2), payloads=maintenance_payloads()))
-    sim.run(until=DURATION)
-    return sim, sink, results
+    pipeline = Pipeline("sensors")
+    vibration = pipeline.source("vibration")
+    maintenance = pipeline.source("maintenance")
+    results = []
+    (vibration
+     .window_join(maintenance, WindowSpec.time(JOIN_WINDOW),
+                  predicate=lambda v, m: v["machine"] == m["machine"],
+                  name="near_service")
+     .tumbling(60.0,
+               {"readings": AggSpec(Count), "mean_level": AggSpec(Avg, "level")},
+               name="per_minute")
+     .sink("ops", on_output=lambda tup, lat: results.append(tup)))
+    sim = (pipeline
+           .engine(ets_policy=policy)
+           .feed("vibration", poisson_arrivals(
+               VIBRATION_RATE, random.Random(1),
+               payloads=vibration_payloads()))
+           .feed("maintenance", poisson_arrivals(
+               SERVICE_RATE, random.Random(2),
+               payloads=maintenance_payloads()))
+           .run(until=DURATION))
+    return sim, pipeline.sinks["ops"], results
 
 
 def main() -> None:

@@ -8,7 +8,7 @@ minute and per symbol, the volume-weighted average price of trades that
 occurred within two seconds of a quote update for the same symbol.
 
 Pipeline (written in the mini query language, including the new REORDER
-statement)::
+statement, compiled via :meth:`Pipeline.from_program`)::
 
     trades --REORDER--> JOIN(quotes, 2s, same symbol) --> AGGREGATE 1min
 
@@ -22,14 +22,11 @@ Run with::
 
 from __future__ import annotations
 
-import itertools
 import random
 
 from repro.api import (
     OnDemandEts,
-    Simulation,
-    compile_query,
-    format_table,
+    Pipeline,
     poisson_arrivals,
     with_out_of_order_timestamps,
 )
@@ -83,24 +80,21 @@ def ordered_external(arrivals):
 
 
 def main() -> None:
-    compiled = compile_query(PROGRAM, name="trading")
-    sim = Simulation(compiled.graph,
-                     ets_policy=OnDemandEts(external_delta=MAX_DISORDER))
+    pipeline = Pipeline.from_program(PROGRAM, name="trading")
 
     trades = poisson_arrivals(TRADE_RATE, random.Random(1),
                               payloads=trade_payloads(random.Random(2)))
-    sim.attach_arrivals(
-        compiled.sources["trades"],
-        with_out_of_order_timestamps(trades, random.Random(3),
-                                     max_disorder=MAX_DISORDER))
     quotes = poisson_arrivals(QUOTE_RATE, random.Random(4),
                               payloads=quote_payloads(random.Random(5)))
-    sim.attach_arrivals(compiled.sources["quotes"], ordered_external(quotes))
+    sim = (pipeline
+           .engine(ets_policy=OnDemandEts(external_delta=MAX_DISORDER))
+           .feed("trades", with_out_of_order_timestamps(
+               trades, random.Random(3), max_disorder=MAX_DISORDER))
+           .feed("quotes", ordered_external(quotes))
+           .run(until=DURATION))
 
-    sim.run(until=DURATION)
-
-    desk = compiled.sinks["desk"]
-    reorder = next(op for op in compiled.graph.operators
+    desk = pipeline.sinks["desk"]
+    reorder = next(op for op in pipeline.graph.operators
                    if type(op).__name__ == "Reorder")
     print(f"{DURATION:.0f} simulated seconds of trading "
           f"({TRADE_RATE}/s trades with up to {MAX_DISORDER * 1e3:.0f} ms "

@@ -2,7 +2,7 @@
 
 Everything a user-facing program needs lives in this one module::
 
-    from repro.api import Simulation, Query, OnDemandEts, MetricsRegistry
+    from repro.api import Pipeline, OnDemandEts, poisson_arrivals
 
 **Stability contract.**  Names listed in :data:`__all__` are the supported
 surface: they keep their signatures and semantics across minor versions,
@@ -13,27 +13,39 @@ directly (``repro.core.execution``, ``repro.sim.kernel``, …) is internal
 and may change without notice.  The repo's own examples and CLI import
 only from this facade, which is what keeps the contract honest.
 
-The surface is grouped as:
+The surface is grouped into five sections:
 
-* **graphs & operators** — :class:`QueryGraph` plus the operator library;
-* **timestamps & ETS** — timestamp kinds, punctuation, the ETS policies
-  of the paper's three scenarios;
-* **execution & simulation** — :class:`ExecutionEngine`,
-  :class:`Simulation`, clock/cost primitives;
-* **query construction** — the fluent :class:`Query` builder and the
-  mini-language's :func:`compile_query`;
-* **observability** — the :mod:`repro.obs` event bus, metrics registry,
-  and exporters;
-* **faults** — fault plans and the degradation ladder;
-* **sharding** — the key-partitioned :class:`ShardedEngine` and its
-  frontier-tracking machinery;
-* **workloads & experiments** — arrival processes, scenario builders, and
-  the paper-figure harnesses.
+* **Build** — declare what the query computes: the fluent
+  :class:`Pipeline` front door, the lower-level :class:`Query` builder and
+  :class:`QueryGraph`, the operator library, schemas, windows, timestamp
+  kinds, the mini-language's :func:`compile_query`, and the errors the
+  build surface raises;
+* **Run** — drive data through an engine: :class:`ExecutionEngine`,
+  :class:`Simulation`, the shared :class:`EngineConfig` knob bundle, the
+  ETS policies of the paper's scenarios, clock/cost primitives, arrival
+  processes, scenario builders, and the paper-figure experiment harnesses;
+* **Observe** — watch it happen: the :mod:`repro.obs` event bus,
+  exporters, tracing, the metrics registry, and report formatting;
+* **Recover** — survive faults: fault plans, the degradation ladder,
+  closed-loop backpressure, and checkpoint/WAL crash recovery;
+* **Scale** — go faster and wider: the columnar block layer
+  (:class:`ColumnarBlock`, :class:`FieldPredicate`) and the
+  key-partitioned :class:`ShardedEngine` with its frontier machinery.
 """
 
 from __future__ import annotations
 
-# --- graphs & operators --------------------------------------------------- #
+# ======================================================================== #
+# Build — pipelines, graphs, operators, schemas, the query language
+# ======================================================================== #
+from .query import (
+    CompiledQuery,
+    Pipeline,
+    PipelineStream,
+    Query,
+    StreamHandle,
+    compile_query,
+)
 from .core.graph import QueryGraph, chain_joins
 from .core.operators import (
     AggSpec,
@@ -57,8 +69,6 @@ from .core.operators import (
 )
 from .core.schema import Field, Schema
 from .core.windows import CountWindow, TimeWindow, WindowSpec
-
-# --- tuples, timestamps & ETS --------------------------------------------- #
 from .core.tuples import (
     LATENT_TS,
     DataTuple,
@@ -70,20 +80,6 @@ from .core.tuples import (
     is_feedback,
     is_punctuation,
 )
-from .core.ets import (
-    AdaptiveHeartbeatSchedule,
-    EtsPolicy,
-    NoEts,
-    OnDemandEts,
-    PeriodicEtsSchedule,
-)
-from .core.timestamps import (
-    InternalClockEts,
-    SkewBoundEts,
-    default_generator_for,
-)
-
-# --- errors ---------------------------------------------------------------- #
 from .core.errors import (
     ExecutionError,
     GraphError,
@@ -97,89 +93,24 @@ from .core.errors import (
     WorkloadError,
 )
 
-# --- execution & simulation ------------------------------------------------ #
+# ======================================================================== #
+# Run — engines, simulation, ETS policies, workloads, experiments
+# ======================================================================== #
+from .core.config import EngineConfig
 from .core.execution import EngineStats, ExecutionEngine
 from .sim import Arrival, CostModel, EventQueue, Simulation, VirtualClock
-
-# --- query construction ---------------------------------------------------- #
-from .query import CompiledQuery, Query, StreamHandle, compile_query
-
-# --- observability --------------------------------------------------------- #
-from .core.tracing import TraceEvent, Tracer, summarize
-from .obs import (
-    ChromeTraceExporter,
-    EventBus,
-    JsonlExporter,
-    MetricsRegistry,
-    Observer,
-    PrometheusExporter,
-    TraceObserver,
+from .core.ets import (
+    AdaptiveHeartbeatSchedule,
+    EtsPolicy,
+    NoEts,
+    OnDemandEts,
+    PeriodicEtsSchedule,
 )
-
-# --- metrics & reporting --------------------------------------------------- #
-from .metrics import (
-    CheckpointTracker,
-    IdleTracker,
-    LatencyRecorder,
-    QueueSampler,
-    RecoveryTracker,
-    format_profile,
-    profile_simulation,
-    queue_summary,
+from .core.timestamps import (
+    InternalClockEts,
+    SkewBoundEts,
+    default_generator_for,
 )
-from .metrics.report import format_series, format_table
-
-# --- faults & degradation -------------------------------------------------- #
-from .faults import (
-    ClockSkewSpike,
-    DropTuples,
-    DuplicateTuples,
-    FallbackHeartbeat,
-    FaultPlan,
-    FaultSpec,
-    InvariantMonitor,
-    LoadSpike,
-    OutOfOrderBurst,
-    ProcessCrash,
-    PunctuationDelay,
-    PunctuationLoss,
-    QuarantinePolicy,
-    SimulatedCrash,
-    SlowSink,
-    SourceOutage,
-    StallDetector,
-)
-
-# --- feedback (closed-loop backpressure) ------------------------------------ #
-from .feedback import (
-    FeedbackController,
-    TokenBucketThrottle,
-    propagate_feedback,
-)
-
-# --- recovery (checkpoint / WAL / crash-stop restore) ---------------------- #
-from .recovery import (
-    CheckpointInfo,
-    CheckpointStore,
-    CheckpointWriter,
-    RecoveryManager,
-    RecoveryReport,
-    WriteAheadLog,
-)
-
-# --- sharding -------------------------------------------------------------- #
-from .shard import (
-    FrontierMerge,
-    FrontierTracker,
-    HashPartitioner,
-    ShardError,
-    ShardTimeoutError,
-    ShardedEngine,
-    ShardedRecoveryReport,
-    ShardedSimulation,
-)
-
-# --- workloads ------------------------------------------------------------- #
 from .workloads import (
     SCENARIOS,
     ScenarioConfig,
@@ -197,8 +128,6 @@ from .workloads import (
     with_external_timestamps,
     with_out_of_order_timestamps,
 )
-
-# --- experiments ----------------------------------------------------------- #
 from .experiments import (
     ChaosConfig,
     ChaosReport,
@@ -228,7 +157,95 @@ from .experiments import (
     validate_paper_claims,
 )
 
+# ======================================================================== #
+# Observe — event bus, exporters, tracing, metrics, reporting
+# ======================================================================== #
+from .core.tracing import TraceEvent, Tracer, summarize
+from .obs import (
+    ChromeTraceExporter,
+    EventBus,
+    JsonlExporter,
+    MetricsRegistry,
+    Observer,
+    PrometheusExporter,
+    TraceObserver,
+)
+from .metrics import (
+    CheckpointTracker,
+    IdleTracker,
+    LatencyRecorder,
+    QueueSampler,
+    RecoveryTracker,
+    format_profile,
+    profile_simulation,
+    queue_summary,
+)
+from .metrics.report import format_series, format_table
+
+# ======================================================================== #
+# Recover — faults, degradation, backpressure, crash recovery
+# ======================================================================== #
+from .faults import (
+    ClockSkewSpike,
+    DropTuples,
+    DuplicateTuples,
+    FallbackHeartbeat,
+    FaultPlan,
+    FaultSpec,
+    InvariantMonitor,
+    LoadSpike,
+    OutOfOrderBurst,
+    ProcessCrash,
+    PunctuationDelay,
+    PunctuationLoss,
+    QuarantinePolicy,
+    SimulatedCrash,
+    SlowSink,
+    SourceOutage,
+    StallDetector,
+)
+from .feedback import (
+    FeedbackController,
+    TokenBucketThrottle,
+    propagate_feedback,
+)
+from .recovery import (
+    CheckpointInfo,
+    CheckpointStore,
+    CheckpointWriter,
+    RecoveryManager,
+    RecoveryReport,
+    WriteAheadLog,
+)
+
+# ======================================================================== #
+# Scale — columnar blocks and the sharded engine
+# ======================================================================== #
+from .core.columnar import (
+    ColumnarBlock,
+    FieldPredicate,
+    numpy_available,
+    numpy_enabled,
+    set_numpy,
+)
+from .shard import (
+    FrontierMerge,
+    FrontierTracker,
+    HashPartitioner,
+    ShardError,
+    ShardTimeoutError,
+    ShardedEngine,
+    ShardedRecoveryReport,
+    ShardedSimulation,
+)
+
 __all__ = [
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+    # pipelines & query construction
+    "CompiledQuery", "Pipeline", "PipelineStream", "Query", "StreamHandle",
+    "compile_query",
     # graphs & operators
     "AggSpec", "Avg", "Count", "FlatMap", "Map", "Max", "Min", "Project",
     "QueryGraph", "Reorder", "Select", "Shed", "SinkNode",
@@ -236,44 +253,24 @@ __all__ = [
     "WindowJoin", "chain_joins",
     # schema & windows
     "CountWindow", "Field", "Schema", "TimeWindow", "WindowSpec",
-    # tuples, timestamps & ETS
-    "AdaptiveHeartbeatSchedule", "DataTuple", "EtsPolicy",
-    "FeedbackPunctuation", "InternalClockEts", "LATENT_TS", "NoEts",
-    "OnDemandEts", "PeriodicEtsSchedule", "Punctuation", "SkewBoundEts",
-    "StreamElement", "TimestampKind", "default_generator_for", "is_data",
-    "is_feedback", "is_punctuation",
+    # tuples & timestamp kinds
+    "DataTuple", "FeedbackPunctuation", "LATENT_TS", "Punctuation",
+    "StreamElement", "TimestampKind", "is_data", "is_feedback",
+    "is_punctuation",
     # errors
     "ExecutionError", "GraphError", "InvariantViolation", "PolicyError",
     "QueryLanguageError", "RecoveryError", "ReproError", "SchemaError",
     "TimestampError", "WorkloadError",
-    # execution & simulation
-    "Arrival", "CostModel", "EngineStats", "EventQueue", "ExecutionEngine",
-    "Simulation", "VirtualClock",
-    # query construction
-    "CompiledQuery", "Query", "StreamHandle", "compile_query",
-    # observability
-    "ChromeTraceExporter", "EventBus", "JsonlExporter", "MetricsRegistry",
-    "Observer", "PrometheusExporter", "TraceEvent", "TraceObserver",
-    "Tracer", "summarize",
-    # metrics & reporting
-    "CheckpointTracker", "IdleTracker", "LatencyRecorder", "QueueSampler",
-    "RecoveryTracker", "format_profile", "format_series", "format_table",
-    "profile_simulation", "queue_summary",
-    # faults & degradation
-    "ClockSkewSpike", "DropTuples", "DuplicateTuples", "FallbackHeartbeat",
-    "FaultPlan", "FaultSpec", "InvariantMonitor", "LoadSpike",
-    "OutOfOrderBurst", "ProcessCrash", "PunctuationDelay",
-    "PunctuationLoss", "QuarantinePolicy", "SimulatedCrash", "SlowSink",
-    "SourceOutage", "StallDetector",
-    # feedback (closed-loop backpressure)
-    "FeedbackController", "TokenBucketThrottle", "propagate_feedback",
-    # recovery
-    "CheckpointInfo", "CheckpointStore", "CheckpointWriter",
-    "RecoveryManager", "RecoveryReport", "WriteAheadLog",
-    # sharding
-    "FrontierMerge", "FrontierTracker", "HashPartitioner", "ShardError",
-    "ShardTimeoutError", "ShardedEngine", "ShardedRecoveryReport",
-    "ShardedSimulation",
+    # ------------------------------------------------------------------ #
+    # Run
+    # ------------------------------------------------------------------ #
+    # engines & simulation
+    "Arrival", "CostModel", "EngineConfig", "EngineStats", "EventQueue",
+    "ExecutionEngine", "Simulation", "VirtualClock",
+    # ETS policies & timestamp generators
+    "AdaptiveHeartbeatSchedule", "EtsPolicy", "InternalClockEts", "NoEts",
+    "OnDemandEts", "PeriodicEtsSchedule", "SkewBoundEts",
+    "default_generator_for",
     # workloads
     "SCENARIOS", "ScenarioConfig", "ScenarioHandles",
     "build_join_scenario", "build_union_scenario", "bursty_arrivals",
@@ -291,4 +288,39 @@ __all__ = [
     "run_chaos_experiment", "run_crash_experiment", "run_join_experiment",
     "run_overload_experiment", "run_sweep", "run_union_experiment",
     "run_validation", "validate_paper_claims",
+    # ------------------------------------------------------------------ #
+    # Observe
+    # ------------------------------------------------------------------ #
+    # event bus, exporters & tracing
+    "ChromeTraceExporter", "EventBus", "JsonlExporter", "MetricsRegistry",
+    "Observer", "PrometheusExporter", "TraceEvent", "TraceObserver",
+    "Tracer", "summarize",
+    # metrics & reporting
+    "CheckpointTracker", "IdleTracker", "LatencyRecorder", "QueueSampler",
+    "RecoveryTracker", "format_profile", "format_series", "format_table",
+    "profile_simulation", "queue_summary",
+    # ------------------------------------------------------------------ #
+    # Recover
+    # ------------------------------------------------------------------ #
+    # faults & degradation
+    "ClockSkewSpike", "DropTuples", "DuplicateTuples", "FallbackHeartbeat",
+    "FaultPlan", "FaultSpec", "InvariantMonitor", "LoadSpike",
+    "OutOfOrderBurst", "ProcessCrash", "PunctuationDelay",
+    "PunctuationLoss", "QuarantinePolicy", "SimulatedCrash", "SlowSink",
+    "SourceOutage", "StallDetector",
+    # feedback (closed-loop backpressure)
+    "FeedbackController", "TokenBucketThrottle", "propagate_feedback",
+    # recovery
+    "CheckpointInfo", "CheckpointStore", "CheckpointWriter",
+    "RecoveryManager", "RecoveryReport", "WriteAheadLog",
+    # ------------------------------------------------------------------ #
+    # Scale
+    # ------------------------------------------------------------------ #
+    # columnar blocks
+    "ColumnarBlock", "FieldPredicate", "numpy_available", "numpy_enabled",
+    "set_numpy",
+    # sharding
+    "FrontierMerge", "FrontierTracker", "HashPartitioner", "ShardError",
+    "ShardTimeoutError", "ShardedEngine", "ShardedRecoveryReport",
+    "ShardedSimulation",
 ]

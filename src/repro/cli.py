@@ -33,15 +33,14 @@ from .api import (
     MetricsRegistry,
     NoEts,
     OnDemandEts,
+    Pipeline,
     QueryGraph,
     ShardedEngine,
     TimestampKind,
     WindowJoin,
     WindowSpec,
-    PeriodicEtsSchedule,
     ReproError,
     ScenarioConfig,
-    Simulation,
     build_join_scenario,
     build_union_scenario,
     compile_query,
@@ -594,39 +593,35 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     with open(args.program) as f:
         text = f.read()
-    compiled = compile_query(text, name=args.program)
-
-    heartbeats = {}
+    pipeline = Pipeline.from_program(text, name=args.program)
+    pipeline.engine(
+        ets_policy=OnDemandEts() if args.ets == "on-demand" else NoEts())
     for spec in args.heartbeat:
         name, _, rate = spec.partition(":")
-        heartbeats[name] = float(rate)
-    sim = Simulation(
-        compiled.graph,
-        ets_policy=OnDemandEts() if args.ets == "on-demand" else NoEts(),
-        periodic=PeriodicEtsSchedule(heartbeats) if heartbeats else None,
-    )
+        pipeline.heartbeat(name, float(rate))
 
     seed = args.seed
+    declared = pipeline.compiled.sources
     for spec in args.source:
         name, kind, rate = _parse_source_spec(spec)
-        if name not in compiled.sources:
+        if name not in declared:
             raise ReproError(
                 f"--source {name!r}: program declares no such stream "
-                f"(has {sorted(compiled.sources)})")
+                f"(has {sorted(declared)})")
         payloads = uniform_value_payloads(random.Random(seed + 1))
         if kind == "poisson":
             arrivals = poisson_arrivals(rate, random.Random(seed),
                                         payloads=payloads)
         else:
             arrivals = constant_arrivals(rate, payloads=payloads)
-        sim.attach_arrivals(compiled.sources[name], arrivals)
+        pipeline.feed(name, arrivals)
         seed += 2
 
-    sim.run(until=args.until)
+    sim = pipeline.run(until=args.until)
 
     rows = [[name, sink.delivered,
              sink.mean_latency * 1e3, sink.punctuation_eliminated]
-            for name, sink in compiled.sinks.items()]
+            for name, sink in pipeline.sinks.items()]
     print(format_table(
         ["sink", "delivered", "mean latency (ms)", "punctuation absorbed"],
         rows, title=f"{args.program} after {args.until:g} simulated seconds"))

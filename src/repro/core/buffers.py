@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterator, Sequence
 
+from .columnar import ColumnarBlock
 from .errors import TimestampError
 from .tuples import LATENT_TS, StreamElement
 
@@ -186,7 +187,14 @@ class StreamBuffer:
         self.consumer_name = consumer_name
         self.consumer_port = consumer_port
         self.register = TSMRegister()
-        self._items: deque[StreamElement] = deque()
+        #: Deque entries are scalar :class:`StreamElement`\ s *or* whole
+        #: :class:`~repro.core.columnar.ColumnarBlock`\ s (data rows only —
+        #: punctuation never enters a block).  Scalar consumers never see a
+        #: block: ``peek``/``pop`` explode a head block back into its tuples
+        #: lazily, so non-columnar operators stay byte-identical for free.
+        self._items: deque[StreamElement | ColumnarBlock] = deque()
+        #: Scalar-equivalent length: blocks count one per live row.
+        self._len = 0
         self._registry = registry
         self._enforce_order = enforce_order
         self._last_pushed_ts = LATENT_TS
@@ -211,13 +219,19 @@ class StreamBuffer:
     # Introspection
 
     def __len__(self) -> int:
-        return len(self._items)
+        """Scalar-equivalent length: a buffered block counts its live rows."""
+        return self._len
 
     def __bool__(self) -> bool:
         return bool(self._items)
 
     def __iter__(self) -> Iterator[StreamElement]:
-        return iter(self._items)
+        """Iterate scalar elements, flattening blocks in place (read-only)."""
+        for entry in self._items:
+            if isinstance(entry, ColumnarBlock):
+                yield from entry.to_tuples()
+            else:
+                yield entry
 
     @property
     def is_empty(self) -> bool:
@@ -274,10 +288,16 @@ class StreamBuffer:
     # Checkpoint / restore
 
     def snapshot_state(self) -> dict:
-        """Versioned snapshot of buffer contents, register, and counters."""
+        """Versioned snapshot of buffer contents, register, and counters.
+
+        Buffered blocks are materialized back into their scalar tuples, so
+        the snapshot shape is identical whether or not the producer ran in
+        block mode — recovery and sharding compose with the columnar path
+        without knowing it exists.
+        """
         return {
             "version": 1,
-            "items": list(self._items),
+            "items": list(iter(self)),
             "register": self.register.snapshot_state(),
             "last_pushed_ts": self._last_pushed_ts,
             "enqueued": self._enqueued,
@@ -290,8 +310,9 @@ class StreamBuffer:
         """Restore a snapshot; registry occupancy is kept consistent."""
         if state.get("version") != 1:
             raise ValueError(f"unsupported StreamBuffer state: {state!r}")
-        delta = len(state["items"]) - len(self._items)
+        delta = len(state["items"]) - self._len
         self._items = deque(state["items"])
+        self._len = len(state["items"])
         self.register.restore_state(state["register"])
         self._last_pushed_ts = state["last_pushed_ts"]
         self._enqueued = state["enqueued"]
@@ -328,6 +349,7 @@ class StreamBuffer:
             if ts > self._last_pushed_ts:
                 self._last_pushed_ts = ts
         self._items.append(element)
+        self._len += 1
         self._enqueued += 1
         if element.is_punctuation:
             self._punctuation_enqueued += 1
@@ -361,12 +383,112 @@ class StreamBuffer:
         self._last_pushed_ts = last
         self._items.extend(elements)
         n = len(elements)
+        self._len += n
         self._enqueued += n
         self._punctuation_enqueued += punct
         self._data_live += n - punct
         if self._registry is not None:
             self._registry._delta(n)
         self._notify_change()
+
+    # ------------------------------------------------------------------ #
+    # Columnar block transport
+
+    def push_block(self, block: ColumnarBlock) -> None:
+        """Append a whole columnar block at the tail in one operation.
+
+        Blocks hold only data rows in timestamp order, so the order check
+        reduces to comparing the block's first non-latent timestamp against
+        the last pushed one, and all bookkeeping is one update per block
+        instead of one per row.  Empty blocks are ignored.
+        """
+        n = block.count
+        if not n:
+            return
+        first = block.first_ts()
+        if first != LATENT_TS:
+            if self._enforce_order and self._last_pushed_ts != LATENT_TS \
+                    and first < self._last_pushed_ts:
+                raise self._order_violation(first, self._last_pushed_ts)
+            last = block.last_ts()
+            if last > self._last_pushed_ts:
+                self._last_pushed_ts = last
+        self._items.append(block)
+        self._len += n
+        self._enqueued += n
+        self._data_live += n
+        if self._registry is not None:
+            self._registry._delta(n)
+        self._notify_change()
+
+    def drain_block(self, limit: int,
+                    max_ts: float | None = None) -> ColumnarBlock | None:
+        """Dequeue up to ``limit`` consecutive data rows as one block.
+
+        The block analog of :meth:`drain_batch`, with the same boundary
+        rules: the run never crosses a punctuation tuple, and with
+        ``max_ts`` it stops before the first row stamped at or above it
+        (latent rows never stop a run).  Returns ``None`` when the head is
+        a punctuation tuple or the buffer is empty.
+
+        A head block is handed over whole (zero copies) when it fits the
+        limits, or split by selection otherwise; a head run of scalar data
+        tuples is gathered into a fresh block.  The TSM register is updated
+        once with the largest timestamp drained, exactly like the scalar
+        and micro-batched paths.
+        """
+        items = self._items
+        if not items or limit <= 0:
+            return None
+        head = items[0]
+        if isinstance(head, ColumnarBlock):
+            taken = head
+            rest: list[ColumnarBlock] = []
+            if max_ts is not None:
+                taken, tail = taken.split_below(max_ts)
+                if tail is not None:
+                    rest.append(tail)
+                if not taken.count:
+                    return None
+            if taken.count > limit:
+                taken, tail = taken.split_at(limit)
+                rest.insert(0, tail)
+            items.popleft()
+            for part in reversed(rest):
+                items.appendleft(part)
+            self._consumed_rows(taken)
+            return taken
+        if head.is_punctuation:
+            return None
+        run = self.drain_batch(limit, max_ts)
+        if not run:
+            return None
+        return ColumnarBlock.from_tuples(run)  # type: ignore[arg-type]
+
+    def _consumed_rows(self, block: ColumnarBlock) -> None:
+        """Bookkeeping for a block handed to the consumer."""
+        last = block.last_ts()
+        if last != LATENT_TS:
+            self.register.update(last)
+        n = block.count
+        self._len -= n
+        self._dequeued += n
+        self._data_live -= n
+        if self._registry is not None:
+            self._registry._delta(-n)
+        self._notify_change()
+
+    def _explode_head(self) -> None:
+        """Replace a head block with its scalar tuples, in place.
+
+        Called lazily by the scalar accessors so operators that do not
+        understand blocks (joins, reorder, strict union) consume exactly
+        the elements they would have seen without block transport.  Pure
+        representation change: no counters move.
+        """
+        block = self._items.popleft()
+        assert isinstance(block, ColumnarBlock)
+        self._items.extendleft(reversed(block.to_tuples()))
 
     def drain_batch(self, limit: int,
                     max_ts: float | None = None) -> list[StreamElement]:
@@ -388,6 +510,9 @@ class StreamBuffer:
         best = LATENT_TS
         while items and len(out) < limit:
             head = items[0]
+            if isinstance(head, ColumnarBlock):
+                self._explode_head()
+                head = items[0]
             if head.is_punctuation:
                 break
             ts = head.ts
@@ -401,6 +526,7 @@ class StreamBuffer:
             if best != LATENT_TS:
                 self.register.update(best)
             n = len(out)
+            self._len -= n
             self._dequeued += n
             self._data_live -= n
             if self._registry is not None:
@@ -417,6 +543,8 @@ class StreamBuffer:
         """
         if not self._items:
             return None
+        if isinstance(self._items[0], ColumnarBlock):
+            self._explode_head()
         head = self._items[0]
         self.register.update(head.ts)
         return head
@@ -425,8 +553,11 @@ class StreamBuffer:
         """Remove and return the head element (consumption)."""
         if not self._items:
             raise IndexError(f"pop from empty buffer {self.name!r}")
+        if isinstance(self._items[0], ColumnarBlock):
+            self._explode_head()
         head = self._items.popleft()
         self.register.update(head.ts)
+        self._len -= 1
         self._dequeued += 1
         if not head.is_punctuation:
             self._data_live -= 1
@@ -437,9 +568,10 @@ class StreamBuffer:
 
     def clear(self) -> None:
         """Discard all buffered elements (registry count is kept consistent)."""
-        if self._registry is not None and self._items:
-            self._registry._delta(-len(self._items))
+        if self._registry is not None and self._len:
+            self._registry._delta(-self._len)
         self._items.clear()
+        self._len = 0
         self._data_live = 0
         self._notify_change()
 
@@ -447,21 +579,41 @@ class StreamBuffer:
     # Timestamp gating helpers
 
     def head_ts(self) -> float | None:
-        """Timestamp of the head element, or None when empty."""
+        """Timestamp of the head element, or None when empty.
+
+        Block-aware without exploding: a head block reports its first live
+        row's timestamp, which is exactly what the scalar head would carry.
+        """
         if not self._items:
             return None
-        return self._items[0].ts
+        head = self._items[0]
+        if isinstance(head, ColumnarBlock):
+            return head.head_ts
+        return head.ts
+
+    def head_is_punctuation(self) -> bool:
+        """True when the head element is punctuation (blocks never are)."""
+        if not self._items:
+            return False
+        head = self._items[0]
+        if isinstance(head, ColumnarBlock):
+            return False
+        return head.is_punctuation
 
     def gate_ts(self) -> float:
         """The timestamp this input contributes to the operator's τ.
 
         Per the relaxed ``more`` condition, an input contributes its head
         element's timestamp when nonempty (refreshing the register), and its
-        remembered register value when empty.
+        remembered register value when empty.  Reads the head timestamp
+        without exploding a head block — the register update is identical
+        to what a scalar peek would do (latent heads never move it).
         """
-        head = self.peek()
-        if head is not None and head.ts != LATENT_TS:
-            return head.ts
+        ts = self.head_ts()
+        if ts is not None:
+            self.register.update(ts)
+            if ts != LATENT_TS:
+                return ts
         return self.register.value
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

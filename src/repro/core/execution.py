@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Callable, Iterable
 
 from ..obs.bus import EventBus, Observer
+from .config import EngineConfig
 from .errors import ExecutionError
 from .ets import EtsPolicy, NoEts
 from .graph import QueryGraph
@@ -63,6 +64,10 @@ class EngineStats:
             absorbed by the quarantine policy instead of crashing ingest.
         invariant_violations: Violations the invariant monitor recorded in
             degrade mode (halt mode raises instead of counting here).
+        blocks / block_rows: Columnar execution steps taken and the rows
+            they consumed (block mode only).
+        block_fallbacks: Block-mode steps routed through the scalar/batched
+            path because the operator does not support blocks.
     """
 
     rounds: int = 0
@@ -82,6 +87,9 @@ class EngineStats:
     quarantine_dropped: int = 0
     quarantine_clamped: int = 0
     invariant_violations: int = 0
+    blocks: int = 0
+    block_rows: int = 0
+    block_fallbacks: int = 0
     per_operator_steps: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, object]:
@@ -106,6 +114,10 @@ class EngineStats:
         for f in dataclass_fields(self):
             if f.name == "per_operator_steps":
                 self.per_operator_steps = dict(state[f.name])
+            elif f.name in ("blocks", "block_rows", "block_fallbacks"):
+                # Columnar counters postdate snapshot version 1; default
+                # them so pre-columnar checkpoints keep restoring.
+                setattr(self, f.name, state.get(f.name, 0))
             else:
                 setattr(self, f.name, state[f.name])
 
@@ -135,6 +147,16 @@ class ExecutionEngine:
             :meth:`Operator.execute_batch` — runs never cross a punctuation,
             and the cost model still charges simulated CPU per tuple, so
             batching changes wall-clock throughput, not ETS semantics.
+        block_mode: Columnar execution.  Operators advertising
+            :attr:`Operator.supports_blocks` consume and produce
+            struct-of-arrays :class:`~repro.core.columnar.ColumnarBlock`
+            runs (up to ``batch_size`` rows per step) instead of tuple
+            lists; all other operators fall back to
+            :meth:`Operator.execute_batch` with head blocks exploded lazily
+            by the buffer, so output stays byte-identical to the scalar
+            engine.  Block mode implies batching: with ``batch_size == 1``
+            blocks are single-row and pure overhead, so pick a real batch
+            size (the :class:`~repro.api.Pipeline` default is 64).
         monitor: Optional :class:`~repro.faults.monitors.InvariantMonitor`
             (already installed on the graph); its per-round checks run at
             the end of every wake-up, and degrade-mode violations are
@@ -145,6 +167,10 @@ class ExecutionEngine:
             overhead fast path guarded by ``bench_throughput.py``.
         max_steps_per_round: Safety valve for logical-mode loops; None means
             unbounded (the cost model plus event horizon bound real runs).
+        config: Optional :class:`~repro.core.config.EngineConfig` supplying
+            defaults for the shared knobs (batch_size, block_mode,
+            checkpoint_every, observers, feedback, ets_policy,
+            max_steps_per_round).  Explicit keyword arguments win.
     """
 
     def __init__(self, graph: QueryGraph, clock, *, cost_model=None,
@@ -153,11 +179,29 @@ class ExecutionEngine:
                  deliver_due: Callable[[float], None] | None = None,
                  offer_ets_always: bool = False,
                  batch_size: int = 1,
+                 block_mode: bool = False,
                  monitor=None,
                  observers: Iterable[Observer] | None = None,
                  max_steps_per_round: int | None = None,
                  checkpoint_every: int | None = None,
-                 feedback=None) -> None:
+                 feedback=None,
+                 config: EngineConfig | None = None) -> None:
+        if config is not None:
+            knobs = config.resolve(
+                dict(batch_size=batch_size, block_mode=block_mode,
+                     checkpoint_every=checkpoint_every,
+                     max_steps_per_round=max_steps_per_round),
+                dict(batch_size=1, block_mode=False, checkpoint_every=None,
+                     max_steps_per_round=None))
+            batch_size = knobs["batch_size"]
+            block_mode = knobs["block_mode"]
+            checkpoint_every = knobs["checkpoint_every"]
+            max_steps_per_round = knobs["max_steps_per_round"]
+            if ets_policy is None:
+                ets_policy = config.ets_policy_instance()
+            if feedback is None:
+                feedback = config.feedback_instance()
+            observers = config.resolved_observers(observers) or None
         if not graph.is_validated:
             graph.validate()
         if batch_size < 1:
@@ -176,6 +220,7 @@ class ExecutionEngine:
         self.deliver_due = deliver_due
         self.offer_ets_always = offer_ets_always
         self.batch_size = batch_size
+        self.block_mode = block_mode
         self.monitor = monitor
         self.max_steps_per_round = max_steps_per_round
         #: Checkpoint cadence in wake-up rounds; None disables.  The actual
@@ -360,7 +405,13 @@ class ExecutionEngine:
             # whole run (up to batch_size elements, never across the next
             # punctuation) per step instead of a single element.
             if execute and current.more():
-                if self.batch_size > 1:
+                if self.block_mode:
+                    if current.supports_blocks:
+                        self._step_block(current)
+                    else:
+                        self.stats.block_fallbacks += 1
+                        self._step_batch(current)
+                elif self.batch_size > 1:
                     self._step_batch(current)
                 else:
                     self._step(current)
@@ -470,6 +521,44 @@ class ExecutionEngine:
             self.bus.step(
                 operator=op.name, round_id=self._round_id,
                 time=self.clock.now(), kind="batch", steps=batch.steps,
+                probes=batch.probes, probes_emitted=batch.probes_emitted,
+                emitted_data=batch.emitted_data,
+                emitted_punctuation=batch.emitted_punctuation,
+                duration=cost)
+        self._refresh_idle()
+        return batch
+
+    def _step_block(self, op: Operator) -> BatchResult:
+        """One columnar execution step: a block of scalar-equivalent steps.
+
+        Accounting mirrors :meth:`_step_batch` — stats count
+        scalar-equivalent steps and the cost model charges per tuple — plus
+        the columnar counters (``blocks`` / ``block_rows``), so block mode
+        changes wall-clock throughput, never simulated time or semantics.
+        """
+        batch = op.execute_block(self.ctx, self.batch_size)
+        stats = self.stats
+        stats.steps += batch.steps
+        stats.data_steps += batch.consumed_data
+        stats.punct_steps += batch.consumed_punctuation
+        stats.probes += batch.probes
+        stats.probes_emitted += batch.probes_emitted
+        stats.emitted_data += batch.emitted_data
+        stats.emitted_punctuation += batch.emitted_punctuation
+        stats.blocks += 1
+        stats.block_rows += batch.consumed_data
+        per_op = stats.per_operator_steps
+        per_op[op.name] = per_op.get(op.name, 0) + batch.steps
+        cost = 0.0
+        if self.cost_model is not None:
+            cost = self.cost_model.batch_cost(op, batch)
+            if cost:
+                self.clock.advance(cost)
+                stats.busy_time += cost
+        if self.bus is not None and batch.steps:
+            self.bus.step(
+                operator=op.name, round_id=self._round_id,
+                time=self.clock.now(), kind="block", steps=batch.steps,
                 probes=batch.probes, probes_emitted=batch.probes_emitted,
                 emitted_data=batch.emitted_data,
                 emitted_punctuation=batch.emitted_punctuation,

@@ -26,9 +26,9 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping
 
 from ..errors import ExecutionError
-from ..tuples import DataTuple
+from ..tuples import LATENT_TS, DataTuple
 from ..windows import TimeWindow
-from .base import Operator, OpContext, StepResult
+from .base import BatchResult, Operator, OpContext, StepResult
 
 __all__ = [
     "Aggregator",
@@ -164,6 +164,7 @@ class TumblingAggregate(Operator):
 
     is_iwp = False
     arity = 1
+    supports_blocks = True
 
     def __init__(self, name: str, width: float, aggs: Mapping[str, AggSpec],
                  *, group_by: str | None = None, emit_empty: bool = False,
@@ -295,6 +296,50 @@ class TumblingAggregate(Operator):
         for out, spec in self.aggs.items():
             accumulators[out].update(spec.extract(element.payload))
         return StepResult(consumed=element, emitted_data=emitted)
+
+    def execute_block(self, ctx: OpContext, limit: int) -> BatchResult:
+        """Columnar accumulation: fold a whole block into the open window.
+
+        Rows are read straight off the block's columns in order — window
+        advancement, group lookup and accumulator updates are exactly the
+        scalar sequence (window results are emitted mid-block at the same
+        points), but no :class:`DataTuple` is materialized per input row.
+        Punctuation stays a batch boundary handled by the scalar step.
+        """
+        buf = self.inputs[0]
+        block = buf.drain_block(limit)
+        if block is None:
+            if buf.is_empty:
+                return BatchResult()
+            batch = BatchResult()  # punctuation at the head: scalar step
+            batch.add_step(self.execute_step(ctx))
+            return batch
+        ts_col = block.ts
+        arrival_col = block.arrival
+        payload_col = block.payloads
+        group_by = self.group_by
+        groups = self._groups
+        agg_items = tuple(self.aggs.items())
+        emitted = 0
+        for i in block.indices():
+            ts = ts_col[i]
+            if ts == LATENT_TS:
+                ts = ctx.clock.now()
+            payload = payload_col[i]
+            if self._window_start is None:
+                self._window_start = self._align(ts)
+            else:
+                emitted += self._advance_to(ts, arrival_col[i])
+                groups = self._groups  # _advance_to may have replaced it
+            key = payload[group_by] if group_by is not None else None
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = self._fresh_accumulators()
+                groups[key] = accumulators
+            for out, spec in agg_items:
+                accumulators[out].update(spec.extract(payload))
+        n = block.count
+        return BatchResult(steps=n, consumed_data=n, emitted_data=emitted)
 
 
 class SlidingAggregate(Operator):

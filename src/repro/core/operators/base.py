@@ -144,6 +144,12 @@ class Operator:
     is_iwp: bool = False
     #: Required number of inputs; None means "one or more".
     arity: int | None = 1
+    #: True for operators implementing :meth:`execute_block` — the columnar
+    #: path.  Stateful / ETS-sensitive operators (join, reorder) leave this
+    #: False and the block-mode engine falls back to :meth:`execute_batch`,
+    #: with incoming blocks exploded lazily by the buffer, so their
+    #: byte-identity is preserved by construction.
+    supports_blocks: bool = False
 
     def __init__(self, name: str, *, output_schema: "Schema | None" = None) -> None:
         self.name = name
@@ -277,6 +283,20 @@ class Operator:
             if result.consumed_punctuation:
                 break
         return batch
+
+    def execute_block(self, ctx: OpContext, limit: int) -> BatchResult:
+        """Process up to ``limit`` input rows through the columnar path.
+
+        Only called by the block-mode engine, and only when
+        :attr:`supports_blocks` is True.  Implementations share the batch
+        boundary rules (limit, ``more`` turning false, punctuation) and must
+        be observationally identical to the scalar path; the difference is
+        that input arrives as :class:`~repro.core.columnar.ColumnarBlock`
+        runs drained whole from the buffer, and data output should be pushed
+        as blocks so downstream columnar operators keep the amortization.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the columnar path")
 
     # ------------------------------------------------------------------ #
     # Emission helpers

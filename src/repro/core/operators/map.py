@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable
 
+from ..columnar import ColumnarBlock
 from ..tuples import DataTuple
 from .base import OpContext
 from .stateless import StatelessOperator
@@ -27,6 +28,11 @@ class Map(StatelessOperator):
 
     def apply(self, tup: DataTuple, ctx: OpContext) -> list[DataTuple]:
         return [tup.with_payload(self.fn(tup.payload))]
+
+    def apply_block(self, block: ColumnarBlock,
+                    ctx: OpContext) -> ColumnarBlock | None:
+        """Columnar map: rewrite only the payloads column, rows untouched."""
+        return block.map_payloads(self.fn)
 
 
 class FlatMap(StatelessOperator):

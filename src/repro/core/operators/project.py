@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from collections.abc import Mapping
-from typing import Iterable
+from typing import Any, Iterable
 
+from ..columnar import ColumnarBlock
 from ..errors import SchemaError
 from ..tuples import DataTuple
 from .base import OpContext
@@ -40,3 +41,28 @@ class Project(StatelessOperator):
                 f"projection {self.name!r}: payload missing fields {missing}"
             )
         return [tup.with_payload({f: payload[f] for f in self.fields})]
+
+    def apply_block(self, block: ColumnarBlock,
+                    ctx: OpContext) -> ColumnarBlock | None:
+        """Columnar projection: rewrite only the payloads column.
+
+        Timestamps, sequence numbers and arrival times are shared with the
+        input block untouched — projection never moves a row, so none of the
+        per-tuple ``dataclasses.replace`` churn of the scalar path happens.
+        Schema errors carry the same messages as :meth:`apply`.
+        """
+        fields = self.fields
+        new_payloads: list[Any] = []
+        for payload in block.iter_payloads():
+            if not isinstance(payload, Mapping):
+                raise SchemaError(
+                    f"projection {self.name!r}: payload must be a mapping, "
+                    f"got {type(payload).__name__}"
+                )
+            missing = [f for f in fields if f not in payload]
+            if missing:
+                raise SchemaError(
+                    f"projection {self.name!r}: payload missing fields {missing}"
+                )
+            new_payloads.append({f: payload[f] for f in fields})
+        return block.with_payloads(new_payloads)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from ..columnar import ColumnarBlock, FieldPredicate
 from ..tuples import DataTuple
 from .base import OpContext
 from .stateless import StatelessOperator
@@ -38,6 +39,26 @@ class Select(StatelessOperator):
             return [tup]
         self.dropped += 1
         return []
+
+    def apply_block(self, block: ColumnarBlock,
+                    ctx: OpContext) -> ColumnarBlock | None:
+        """Columnar filter: one pass producing a narrowed selection vector.
+
+        No rows are copied — the output block shares the input's arrays.  A
+        structured :class:`~repro.core.columnar.FieldPredicate` is evaluated
+        vectorized over the field column (numpy permitting); arbitrary
+        callables are applied per row in row order, exactly like the scalar
+        path.
+        """
+        predicate = self.predicate
+        if isinstance(predicate, FieldPredicate):
+            out = block.with_selection(predicate.select_indices(block))
+        else:
+            out = block.filter(predicate)
+        kept = out.count
+        self.passed += kept
+        self.dropped += block.count - kept
+        return out if kept else None
 
     @property
     def observed_selectivity(self) -> float:

@@ -23,6 +23,7 @@ import random
 from dataclasses import replace
 from typing import Any
 
+from ..columnar import ColumnarBlock
 from ..errors import ExecutionError
 from ..tuples import DataTuple
 from .base import BatchResult, OpContext, Operator
@@ -109,6 +110,13 @@ class Shed(StatelessOperator):
             return Operator.execute_batch(self, ctx, limit)
         return super().execute_batch(ctx, limit)
 
+    def execute_block(self, ctx: OpContext, limit: int) -> BatchResult:
+        # Same reasoning as execute_batch: pressure-driven mode must read
+        # the live buffer length per tuple, so it cannot drain runs.
+        if self.queue_threshold is not None:
+            return Operator.execute_batch(self, ctx, limit)
+        return super().execute_block(ctx, limit)
+
     @property
     def effective_probability(self) -> float:
         """Drop rate in force: configured probability or feedback budget."""
@@ -124,6 +132,31 @@ class Shed(StatelessOperator):
             return []
         self.passed_count += 1
         return [tup]
+
+    def apply_block(self, block: ColumnarBlock,
+                    ctx: OpContext) -> ColumnarBlock | None:
+        """Columnar shed: draw per row in row order, narrow the selection.
+
+        The RNG draw sequence is exactly the scalar one — no draw at all
+        while the effective probability is zero (so an inactive shedder
+        consumes no randomness), one draw per data tuple otherwise — which
+        keeps crash-recovery RNG snapshots and byte-identity intact.
+        """
+        probability = self.effective_probability
+        if probability <= 0.0:
+            self.passed_count += block.count
+            return block
+        rng_random = self._rng.random
+        kept: list[int] = []
+        for i in block.indices():
+            if rng_random() < probability:
+                self.shed_count += 1
+            else:
+                self.passed_count += 1
+                kept.append(i)
+        if not kept:
+            return None
+        return block.with_selection(kept)
 
     def on_feedback(self, feedback, now: float):
         """Adopt the wave's drop budget; absorb it from further upstream.

@@ -33,6 +33,7 @@ class SinkNode(Operator):
 
     is_iwp = False
     arity = 1
+    supports_blocks = True
 
     def __init__(self, name: str,
                  on_output: Callable[[DataTuple, float], Any] | None = None,
@@ -110,6 +111,56 @@ class SinkNode(Operator):
             self.delivered += n
             if self.keep_outputs:
                 self.outputs_seen.extend(run)  # type: ignore[arg-type]
+            batch.steps += n
+            batch.consumed_data += n
+        return batch
+
+    def execute_block(self, ctx: OpContext, limit: int) -> BatchResult:
+        """Columnar delivery: consume whole blocks off the input buffer.
+
+        When no per-tuple callback is registered and outputs are not kept,
+        latency statistics are accumulated straight off the block's arrival
+        column without materializing a single tuple — the common benchmark
+        configuration.  Otherwise rows are materialized in order and handed
+        to the callback exactly as the scalar path would.
+        """
+        batch = BatchResult()
+        buf = self.inputs[0]
+        while batch.steps < limit:
+            block = buf.drain_block(limit - batch.steps)
+            if block is None:
+                if buf.is_empty:
+                    break
+                # Punctuation at the head: absorb it, close the batch.
+                buf.pop()
+                self.punctuation_eliminated += 1
+                batch.steps += 1
+                batch.consumed_punctuation += 1
+                break
+            now = ctx.clock.now()
+            if self.on_output is None and not self.keep_outputs:
+                for arrival in block.iter_arrival():
+                    latency = now - arrival
+                    if latency == latency:  # not NaN
+                        self.latency_sum += latency
+                        self.latency_count += 1
+                        if latency > self.latency_max:
+                            self.latency_max = latency
+            else:
+                on_output = self.on_output
+                for element in block.to_tuples():
+                    latency = now - element.arrival_ts
+                    if latency == latency:  # not NaN
+                        self.latency_sum += latency
+                        self.latency_count += 1
+                        if latency > self.latency_max:
+                            self.latency_max = latency
+                    if self.keep_outputs:
+                        self.outputs_seen.append(element)
+                    if on_output is not None:
+                        on_output(element, latency)
+            n = block.count
+            self.delivered += n
             batch.steps += n
             batch.consumed_data += n
         return batch

@@ -9,6 +9,7 @@ operators down the path.
 
 from __future__ import annotations
 
+from ..columnar import ColumnarBlock
 from ..tuples import DataTuple, StreamElement
 from .base import BatchResult, Operator, OpContext, StepResult
 
@@ -21,10 +22,18 @@ class StatelessOperator(Operator):
     Sub-classes implement :meth:`apply`, which receives a data tuple and
     returns the data tuples to emit (possibly none, as for a failed
     selection).  Punctuation handling and consumption are centralized here.
+
+    The columnar path is centralized too: :meth:`execute_block` drains a
+    whole :class:`~repro.core.columnar.ColumnarBlock` and hands it to
+    :meth:`apply_block`.  The default ``apply_block`` materializes rows and
+    loops :meth:`apply` — identical semantics for any subclass (including
+    user-defined ones) while still amortizing the buffer traffic; Select /
+    Project / Map override it with genuinely columnar transforms.
     """
 
     is_iwp = False
     arity = 1
+    supports_blocks = True
 
     def execute_step(self, ctx: OpContext) -> StepResult:
         element: StreamElement = self.inputs[0].pop()
@@ -67,3 +76,42 @@ class StatelessOperator(Operator):
                 out_buf.push_batch(outs)
         n = len(run)
         return BatchResult(steps=n, consumed_data=n, emitted_data=len(outs))
+
+    def execute_block(self, ctx: OpContext, limit: int) -> BatchResult:
+        """Columnar path: drain a block, transform its columns, push whole.
+
+        Punctuation is still a batch boundary consumed by the scalar step;
+        the fast path never sees it inside a block by construction.
+        """
+        buf = self.inputs[0]
+        block = buf.drain_block(limit)
+        if block is None:
+            if buf.is_empty:
+                return BatchResult()
+            batch = BatchResult()  # punctuation at the head: scalar step
+            batch.add_step(self.execute_step(ctx))
+            return batch
+        out = self.apply_block(block, ctx)
+        emitted = out.count if out is not None else 0
+        if emitted:
+            for out_buf in self.outputs:
+                out_buf.push_block(out)
+        n = block.count
+        return BatchResult(steps=n, consumed_data=n, emitted_data=emitted)
+
+    def apply_block(self, block: ColumnarBlock,
+                    ctx: OpContext) -> ColumnarBlock | None:
+        """Transform one block into its output block (None/empty = nothing).
+
+        The default loops :meth:`apply` over materialized rows, in row
+        order — byte-identical for any subclass (stateful ``apply``
+        implementations included) at the cost of materialization; columnar
+        subclasses override this to work on the arrays directly.
+        """
+        apply = self.apply
+        outs: list[DataTuple] = []
+        for tup in block.to_tuples():
+            outs.extend(apply(tup, ctx))
+        if not outs:
+            return None
+        return ColumnarBlock.from_tuples(outs)

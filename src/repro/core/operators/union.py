@@ -18,6 +18,7 @@ timestamp.  Three behavioural modes are supported, matching the paper:
 
 from __future__ import annotations
 
+from ..columnar import ColumnarBlock
 from ..errors import ExecutionError, GraphError
 from ..tuples import LATENT_TS, Punctuation, StreamElement
 from .base import BatchResult, Operator, OpContext, StepResult
@@ -36,6 +37,7 @@ class Union(Operator):
 
     is_iwp = True
     arity: int | None = None  # n-ary
+    supports_blocks = True  # relaxed mode only; strict falls back (below)
 
     def __init__(self, name: str, *, strict: bool = False, output_schema=None) -> None:
         super().__init__(name, output_schema=output_schema)
@@ -83,10 +85,15 @@ class Union(Operator):
         return [buf.gate_ts() for buf in self.inputs]
 
     def _latent_ready_index(self) -> int | None:
-        """Index of an input whose head is a latent tuple, if any."""
+        """Index of an input whose head is a latent tuple, if any.
+
+        Uses :meth:`StreamBuffer.head_ts` instead of ``peek`` so a columnar
+        block at the head is inspected without being exploded back into
+        tuples (punctuation always carries a real timestamp, so a latent
+        head timestamp implies a latent *data* tuple).
+        """
         for i, buf in enumerate(self.inputs):
-            head = buf.peek()
-            if head is not None and head.is_latent:
+            if buf.head_ts() == LATENT_TS:
                 return i
         return None
 
@@ -257,4 +264,100 @@ class Union(Operator):
         if staged:
             for out in self.outputs:
                 out.push_batch(staged)
+        return batch
+
+    def execute_block(self, ctx: OpContext, limit: int) -> BatchResult:
+        """Columnar sort-merge: forward sub-gate runs as whole blocks.
+
+        Same merge logic as :meth:`execute_batch`, but when one input's run
+        stays strictly below every other input's gate the run is drained as
+        a :class:`~repro.core.columnar.ColumnarBlock` and forwarded without
+        materializing a single tuple.  Gate ties, latent heads and
+        punctuation fall back to the exact scalar selection (popping through
+        the buffer, which explodes a head block lazily when needed), so
+        cross-input ordering and punctuation dedup are byte-identical.
+        Strict mode has no sub-gate runs to amortize and simply loops the
+        scalar step.
+        """
+        if self.strict:
+            return Operator.execute_batch(self, ctx, limit)
+        batch = BatchResult()
+        staged: list[StreamElement | ColumnarBlock] = []
+        inputs = self.inputs
+        while batch.steps < limit:
+            latent_idx = self._latent_ready_index()
+            if latent_idx is not None:
+                element = inputs[latent_idx].pop()
+                staged.append(element)
+                self.data_forwarded += 1
+                batch.steps += 1
+                batch.consumed_data += 1
+                batch.emitted_data += 1
+                continue
+            gates = self._gates()
+            tau = min(gates)
+            if tau == LATENT_TS:
+                break
+            data_idx: int | None = None
+            punct_idx: int | None = None
+            for i, buf in enumerate(inputs):
+                if buf.head_ts() != tau:
+                    continue
+                if buf.head_is_punctuation():
+                    if punct_idx is None:
+                        punct_idx = i
+                else:
+                    data_idx = i
+                    break
+            if data_idx is not None:
+                buf = inputs[data_idx]
+                other_min = min(g for j, g in enumerate(gates)
+                                if j != data_idx)
+                if tau < other_min:
+                    blk = buf.drain_block(limit - batch.steps,
+                                          max_ts=other_min)
+                    assert blk is not None  # head is data at tau
+                    staged.append(blk)
+                    last = blk.last_ts()
+                    if last != LATENT_TS and last > self._last_emitted_ts:
+                        self._last_emitted_ts = last
+                    n = blk.count
+                else:
+                    # Tie with another input's gate: consume exactly the
+                    # head element so cross-input ordering matches scalar.
+                    element = buf.pop()
+                    staged.append(element)
+                    ts = element.ts
+                    if ts != LATENT_TS and ts > self._last_emitted_ts:
+                        self._last_emitted_ts = ts
+                    n = 1
+                self.data_forwarded += n
+                batch.steps += n
+                batch.consumed_data += n
+                batch.emitted_data += n
+                continue
+            if punct_idx is not None:
+                element = inputs[punct_idx].pop()
+                self.punctuation_consumed += 1
+                batch.steps += 1
+                batch.consumed_punctuation += 1
+                tau = min(self._gates())
+                if tau > self._last_emitted_ts:
+                    staged.append(Punctuation(
+                        ts=tau, origin=self.name,
+                        periodic=getattr(element, "periodic", False)))
+                    self._last_emitted_ts = tau
+                    self.punctuation_forwarded += 1
+                    batch.emitted_punctuation += 1
+                else:
+                    self.punctuation_suppressed += 1
+                break  # punctuation is a batch boundary
+            break  # no head at tau: more() is false
+        for entry in staged:
+            if isinstance(entry, ColumnarBlock):
+                for out in self.outputs:
+                    out.push_block(entry)
+            else:
+                for out in self.outputs:
+                    out.push(entry)
         return batch

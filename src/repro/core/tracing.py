@@ -116,7 +116,8 @@ class TracingEngine(ExecutionEngine):
     def __init__(self, *args, tracer: Tracer | None = None, **kwargs) -> None:
         warnings.warn(
             "TracingEngine is deprecated; pass "
-            "ExecutionEngine(observers=[TraceObserver(tracer)]) instead",
+            "ExecutionEngine(observers=[TraceObserver(tracer)]) — or "
+            "observers=[...] via repro.api.Pipeline.engine() — instead",
             DeprecationWarning, stacklevel=2)
         self.tracer = tracer if tracer is not None else Tracer()
         observers = list(kwargs.pop("observers", None) or ())

@@ -426,12 +426,21 @@ class MetricsRegistry(Observer):
     # Absorbing the legacy aggregates
 
     def absorb_engine_stats(self, stats) -> "MetricsRegistry":
-        """Fold an :class:`EngineStats` snapshot in, one field per label."""
+        """Fold an :class:`EngineStats` snapshot in, one field per label.
+
+        Columnar counters are skipped while zero so scalar- and batch-mode
+        runs export the exact sample set they always did; block-mode runs
+        gain ``repro_engine_stat{field="blocks"}`` etc. the moment the
+        counters move.
+        """
         for field_name, value in stats.as_dict().items():
             if field_name == "per_operator_steps":
                 for op, steps in value.items():
                     self.engine_stat.set(steps, field="per_operator_steps",
                                          operator=op)
+            elif (field_name in ("blocks", "block_rows", "block_fallbacks")
+                    and not value):
+                continue
             else:
                 self.engine_stat.set(value, field=field_name)
         return self

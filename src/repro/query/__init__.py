@@ -3,9 +3,12 @@
 from .builder import Query, StreamHandle
 from .language import CompiledQuery, compile_query
 from .parser import compile_expression, tokenize
+from .pipeline import Pipeline, PipelineStream
 
 __all__ = [
     "CompiledQuery",
+    "Pipeline",
+    "PipelineStream",
     "Query",
     "StreamHandle",
     "compile_expression",

@@ -29,6 +29,7 @@ from ..core.operators import (
     Project,
     Reorder,
     Select,
+    Shed,
     SinkNode,
     SlidingAggregate,
     SourceNode,
@@ -113,6 +114,14 @@ class StreamHandle:
         """Expand each payload into zero or more payloads."""
         return self.query._extend(
             self.op, FlatMap(self.query._auto_name("flatmap", name), fn))
+
+    def shed(self, probability: float, *,
+             queue_threshold: int | None = None, seed: int = 0,
+             name: str | None = None) -> "StreamHandle":
+        """Random load shedding: drop each payload with ``probability``."""
+        return self.query._extend(
+            self.op, Shed(self.query._auto_name("shed", name), probability,
+                          queue_threshold=queue_threshold, seed=seed))
 
     def reorder(self, slack: float, name: str | None = None,
                 late: str = "drop") -> "StreamHandle":

@@ -1,0 +1,369 @@
+"""The fluent pipeline surface: build, configure, and run in one chain.
+
+:class:`Pipeline` is the front door of :mod:`repro.api`.  It wraps the
+:class:`~repro.query.builder.Query` builder, an
+:class:`~repro.core.config.EngineConfig`, and the
+:class:`~repro.sim.kernel.Simulation` drive loop behind a single chainable
+object, so the common case needs no manual graph wiring, no engine
+construction, and no separate workload attachment::
+
+    from repro.api import Pipeline, OnDemandEts, poisson_arrivals
+    import random
+
+    p = Pipeline("netmon")
+    packets = p.source("packets")
+    alarms = p.source("alarms")
+    (packets.select(lambda t: t["bytes"] > 1200)
+            .union(alarms)
+            .sink("analyst", keep_outputs=True))
+    sim = (p.engine(ets_policy=OnDemandEts, batch_size=64, block_mode=True)
+            .feed("packets", poisson_arrivals(200.0, random.Random(1)))
+            .feed("alarms", poisson_arrivals(0.05, random.Random(2)))
+            .run(until=120.0))
+    print(p.sinks["analyst"].delivered, sim.peak_queue_size)
+
+Single-source pipelines can start straight from the class —
+``Pipeline.source("ticks")`` creates an anonymous pipeline and returns the
+stream handle; the pipeline itself is reachable as ``stream.pipeline``.
+
+Pipelines default to the columnar fast path (``batch_size=64``,
+``block_mode=True``); results are identical to scalar execution by the
+block-mode fallback contract (see DESIGN.md §4i), so the default is purely
+a throughput choice.  ``.engine()`` overrides any knob.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from ..core.config import EngineConfig
+from ..core.errors import GraphError, WorkloadError
+from ..core.graph import QueryGraph
+from ..core.operators import AggSpec, SinkNode, SourceNode
+from ..core.tuples import TimestampKind
+from ..core.windows import WindowSpec
+from .builder import Query, StreamHandle
+
+__all__ = ["Pipeline", "PipelineStream"]
+
+# EngineConfig fields settable through Pipeline.engine(); everything else
+# passed there is forwarded to the Simulation constructor (cost_model,
+# periodic, start_time, quarantine, ...).
+_CONFIG_KNOBS = frozenset(
+    f for f in EngineConfig.__dataclass_fields__)  # type: ignore[attr-defined]
+
+
+class _classinstancemethod:
+    """Descriptor making ``Pipeline.source(...)`` start a fresh pipeline
+    while ``pipeline.source(...)`` keeps extending the existing one."""
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+        self.__doc__ = fn.__doc__
+
+    def __get__(self, obj, objtype=None):
+        target = obj if obj is not None else objtype()
+
+        def bound(*args, **kwargs):
+            return self.fn(target, *args, **kwargs)
+
+        bound.__doc__ = self.fn.__doc__
+        return bound
+
+
+class Pipeline:
+    """A query pipeline: graph construction + engine config + drive loop.
+
+    Args:
+        name: Graph name (also the default :class:`Simulation` label).
+        config: Optional :class:`EngineConfig` seed; defaults to the
+            columnar fast path (``batch_size=64, block_mode=True``).
+    """
+
+    def __init__(self, name: str = "pipeline", *,
+                 config: EngineConfig | None = None) -> None:
+        self.query = Query(name)
+        self.config = config if config is not None else EngineConfig(
+            batch_size=64, block_mode=True)
+        self.sinks: dict[str, SinkNode] = {}
+        self.simulation = None
+        self.compiled = None  # set by from_program
+        self._sim_kwargs: dict[str, Any] = {}
+        self._feeds: list[tuple[str, Iterable, Any, int]] = []
+        self._heartbeats: dict[str, float] = {}
+        self._graph: QueryGraph | None = None
+
+    # ------------------------------------------------------------------ #
+    # Build
+
+    @_classinstancemethod
+    def source(self, name: str | None = None,
+               kind: TimestampKind = TimestampKind.INTERNAL,
+               *, out_of_order: bool = False) -> "PipelineStream":
+        """Declare an input stream; returns its :class:`PipelineStream`.
+
+        Callable on the class too: ``Pipeline.source("ticks")`` starts an
+        anonymous single-source pipeline (reach it via ``.pipeline``).
+        """
+        self._mutable("source")
+        handle = self.query.source(name, kind, out_of_order=out_of_order)
+        return PipelineStream(self, handle)
+
+    @classmethod
+    def from_program(cls, program: str, name: str = "pipeline", *,
+                     config: EngineConfig | None = None) -> "Pipeline":
+        """Build a pipeline from a mini-language program (see ``repro run``).
+
+        The compiled graph arrives pre-built: sinks declared with ``SINK``
+        are registered in :attr:`sinks`, and :meth:`feed` targets streams
+        by their declared names.  The raw :class:`CompiledQuery` stays
+        reachable as :attr:`compiled`.
+        """
+        from .language import compile_query
+
+        compiled = compile_query(program, name=name)
+        pipeline = cls(name, config=config)
+        pipeline.compiled = compiled
+        pipeline._graph = compiled.graph
+        pipeline.sinks.update(compiled.sinks)
+        return pipeline
+
+    def compile(self) -> QueryGraph:
+        """Validate and return the graph (idempotent — cached)."""
+        if self._graph is None:
+            self._graph = self.query.build()
+        return self._graph
+
+    @property
+    def graph(self) -> QueryGraph:
+        """The validated graph (compiles on first access)."""
+        return self.compile()
+
+    def _mutable(self, what: str) -> None:
+        if self._graph is not None:
+            raise GraphError(
+                f"cannot add {what}: pipeline {self.query.graph.name!r} is "
+                "already compiled")
+
+    def _register_sink(self, sink: SinkNode) -> None:
+        self.sinks[sink.name] = sink
+
+    # ------------------------------------------------------------------ #
+    # Run
+
+    def engine(self, **knobs: Any) -> "Pipeline":
+        """Set engine / simulation knobs; returns ``self``.
+
+        :class:`EngineConfig` fields (``batch_size``, ``block_mode``,
+        ``checkpoint_every``, ``observers``, ``feedback``, ``ets_policy``,
+        ``recovery``, ``state_dir``, ``max_steps_per_round``) update the
+        pipeline's config; anything else (``cost_model``, ``periodic``,
+        ``start_time``, ``stall_detector``, ...) is forwarded to the
+        :class:`Simulation` constructor verbatim.
+        """
+        config_updates = {k: v for k, v in knobs.items()
+                          if k in _CONFIG_KNOBS}
+        if config_updates:
+            self.config = self.config.replace(**config_updates)
+        for key, value in knobs.items():
+            if key not in _CONFIG_KNOBS:
+                self._sim_kwargs[key] = value
+        return self
+
+    def feed(self, source: "str | PipelineStream | SourceNode",
+             arrivals: Iterable, *, faults=None, skip: int = 0) -> "Pipeline":
+        """Bind an arrival schedule to a source; returns ``self``."""
+        self._feeds.append((self._source_name(source), arrivals,
+                            faults, skip))
+        return self
+
+    def heartbeat(self, source: "str | PipelineStream | SourceNode",
+                  rate: float) -> "Pipeline":
+        """Periodic-ETS injection on ``source`` at ``rate`` per second."""
+        self._heartbeats[self._source_name(source)] = rate
+        return self
+
+    def _source_name(self,
+                     source: "str | PipelineStream | SourceNode") -> str:
+        if isinstance(source, PipelineStream):
+            source = source.source_node
+        if isinstance(source, SourceNode):
+            return source.name
+        return source
+
+    def build_simulation(self):
+        """Construct (but do not run) the :class:`Simulation`.
+
+        Compiles the graph, applies the config, and attaches every feed
+        registered with :meth:`feed` / :meth:`heartbeat`.  Exposed for
+        callers that need the simulation before driving it (custom
+        horizons, incremental ``run()`` calls, fault orchestration).
+        """
+        # Local import: keeps repro.query importable without the sim stack.
+        from ..core.ets import PeriodicEtsSchedule
+        from ..sim.kernel import Simulation
+
+        graph = self.compile()
+        kwargs = dict(self._sim_kwargs)
+        if self._heartbeats and "periodic" not in kwargs:
+            kwargs["periodic"] = PeriodicEtsSchedule(dict(self._heartbeats))
+        sim = Simulation(graph, config=self.config, **kwargs)
+        for name, arrivals, faults, skip in self._feeds:
+            if name not in graph:
+                raise WorkloadError(
+                    f"feed targets unknown source {name!r} "
+                    f"(graph has {sorted(s.name for s in graph.sources())})")
+            sim.attach_arrivals(graph[name], arrivals,
+                                faults=faults, skip=skip)
+        self.simulation = sim
+        return sim
+
+    def run(self, until: float):
+        """Build the simulation (first call) and run it to ``until``.
+
+        Returns the :class:`Simulation`; sinks stay reachable through
+        :attr:`sinks`.  Subsequent calls resume the same simulation, so
+        ``p.run(60).run(120)`` style incremental driving works.
+        """
+        sim = self.simulation
+        if sim is None:
+            sim = self.build_simulation()
+        return sim.run(until=until)
+
+    def summary(self) -> dict:
+        """Headline metrics of the run so far (see ``Simulation.summary``)."""
+        if self.simulation is None:
+            raise WorkloadError("pipeline has not run yet")
+        return self.simulation.summary()
+
+
+class PipelineStream:
+    """A :class:`StreamHandle` bound to its :class:`Pipeline`.
+
+    Exposes every builder combinator (returning :class:`PipelineStream`),
+    plus ``window_join`` — the explicit spelling of :meth:`join` — and a
+    ``sink`` that registers the sink on the pipeline and returns the
+    pipeline for fluent chaining into ``.engine(...).feed(...).run(...)``.
+    """
+
+    def __init__(self, pipeline: Pipeline, handle: StreamHandle) -> None:
+        self.pipeline = pipeline
+        self.handle = handle
+
+    @property
+    def op(self):
+        """The underlying operator (parity with :class:`StreamHandle`)."""
+        return self.handle.op
+
+    @property
+    def source_node(self) -> SourceNode:
+        """The underlying source node (only valid on source streams)."""
+        return self.handle.source_node
+
+    def _wrap(self, handle: StreamHandle) -> "PipelineStream":
+        return PipelineStream(self.pipeline, handle)
+
+    @staticmethod
+    def _unwrap(stream: "PipelineStream | StreamHandle") -> StreamHandle:
+        if isinstance(stream, PipelineStream):
+            return stream.handle
+        return stream
+
+    # ------------------------------------------------------------------ #
+    # Stateless combinators
+
+    def select(self, predicate: Callable[[Any], bool],
+               name: str | None = None) -> "PipelineStream":
+        """Filter: keep payloads satisfying ``predicate``."""
+        return self._wrap(self.handle.select(predicate, name))
+
+    def where(self, predicate: Callable[[Any], bool],
+              name: str | None = None) -> "PipelineStream":
+        """Alias for :meth:`select`."""
+        return self.select(predicate, name)
+
+    def project(self, fields: Iterable[str],
+                name: str | None = None) -> "PipelineStream":
+        """Keep only the named payload fields."""
+        return self._wrap(self.handle.project(fields, name))
+
+    def map(self, fn: Callable[[Any], Any],
+            name: str | None = None) -> "PipelineStream":
+        """Transform each payload with ``fn``."""
+        return self._wrap(self.handle.map(fn, name))
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]],
+                 name: str | None = None) -> "PipelineStream":
+        """Expand each payload into zero or more payloads."""
+        return self._wrap(self.handle.flat_map(fn, name))
+
+    def shed(self, probability: float, *,
+             queue_threshold: int | None = None, seed: int = 0,
+             name: str | None = None) -> "PipelineStream":
+        """Random load shedding: drop each payload with ``probability``."""
+        return self._wrap(self.handle.shed(
+            probability, queue_threshold=queue_threshold, seed=seed,
+            name=name))
+
+    def reorder(self, slack: float, name: str | None = None,
+                late: str = "drop") -> "PipelineStream":
+        """Restore timestamp order over a bounded-disorder stream."""
+        return self._wrap(self.handle.reorder(slack, name, late=late))
+
+    # ------------------------------------------------------------------ #
+    # IWP combinators
+
+    def union(self, *others: "PipelineStream | StreamHandle",
+              name: str | None = None,
+              strict: bool = False) -> "PipelineStream":
+        """Order-preserving merge of this stream with ``others``."""
+        return self._wrap(self.handle.union(
+            *(self._unwrap(o) for o in others), name=name, strict=strict))
+
+    def join(self, other: "PipelineStream | StreamHandle",
+             window: WindowSpec, *,
+             predicate: Callable[[Any, Any], bool] | None = None,
+             key: str | tuple[str, str] | None = None,
+             name: str | None = None, strict: bool = False,
+             **join_kwargs) -> "PipelineStream":
+        """Symmetric window join of this stream (left) with ``other``."""
+        return self._wrap(self.handle.join(
+            self._unwrap(other), window, predicate=predicate, key=key,
+            name=name, strict=strict, **join_kwargs))
+
+    def window_join(self, other: "PipelineStream | StreamHandle",
+                    window: WindowSpec, **kwargs) -> "PipelineStream":
+        """Alias for :meth:`join` (the operator's full name)."""
+        return self.join(other, window, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+
+    def tumbling(self, width: float, aggs: Mapping[str, AggSpec], *,
+                 group_by: str | None = None, emit_empty: bool = False,
+                 name: str | None = None) -> "PipelineStream":
+        """Tumbling-window aggregate of the given width (seconds)."""
+        return self._wrap(self.handle.tumbling(
+            width, aggs, group_by=group_by, emit_empty=emit_empty,
+            name=name))
+
+    def sliding(self, span: float, aggs: Mapping[str, AggSpec],
+                name: str | None = None) -> "PipelineStream":
+        """Continuous sliding-window aggregate over the trailing span."""
+        return self._wrap(self.handle.sliding(span, aggs, name))
+
+    # ------------------------------------------------------------------ #
+    # Terminals
+
+    def sink(self, name: str | None = None,
+             on_output: Callable | None = None,
+             keep_outputs: bool = False) -> Pipeline:
+        """Terminate the stream in a sink; returns the :class:`Pipeline`.
+
+        The sink node itself is registered under its name in
+        ``pipeline.sinks`` (auto-named sinks get ``sink_1``, ``sink_2``,
+        ...), keeping the chain fluent without losing the handle.
+        """
+        node = self.handle.sink(name, on_output, keep_outputs=keep_outputs)
+        self.pipeline._register_sink(node)
+        return self.pipeline

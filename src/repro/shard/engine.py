@@ -25,10 +25,12 @@ sizes, and join layouts.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from ..core.config import EngineConfig
 from ..core.errors import ReproError
 from ..core.ets import EtsPolicy
 from ..obs.bus import EventBus
@@ -93,6 +95,7 @@ class ShardedEngine:
         ets_policy_factory: Builds one ETS policy per shard (policies are
             stateful); None means NoEts everywhere.
         batch_size: Micro-batch width forwarded to every shard engine.
+        block_mode: Columnar execution forwarded to every shard engine.
         state_dir: Root directory for per-shard recovery state
             (``state_dir/shard-00``, ``shard-01``, …); None disables
             durability.
@@ -103,15 +106,22 @@ class ShardedEngine:
         op_timeout: Per-shard operation timeout (seconds) enforced by the
             thread and process backends.
         disorder_bound: Frontier slack for out-of-order sources.
-        feedback_factory: Builds one
-            :class:`~repro.feedback.FeedbackController` per shard.  When
-            set, each wake-up aggregates the shards' pressure views into a
-            global maximum and broadcasts it back as a *clamp* with the
-            next wake-up's commands — so every shard reacts to fleet-wide
-            overload with a staleness of at most one wake-up.  None (the
-            default) keeps the open-loop behavior byte-identical.
+        feedback: Builds one
+            :class:`~repro.feedback.FeedbackController` per shard (a
+            zero-argument factory — controllers hold hysteresis state and
+            cannot be shared).  When set, each wake-up aggregates the
+            shards' pressure views into a global maximum and broadcasts it
+            back as a *clamp* with the next wake-up's commands — so every
+            shard reacts to fleet-wide overload with a staleness of at
+            most one wake-up.  None (the default) keeps the open-loop
+            behavior byte-identical.
+        feedback_factory: Deprecated alias of ``feedback``.
         retry_limit: Bounded re-poll attempts per operation for the
             process backend (see :class:`ProcessBackend`).
+        config: Optional :class:`~repro.core.config.EngineConfig` supplying
+            defaults for the shared knobs; explicit keyword arguments win,
+            and the factory-shaped knobs (``ets_policy``, ``feedback``)
+            must be zero-argument factories here.
     """
 
     def __init__(self, build: Callable[[], Any], *, shards: int,
@@ -119,13 +129,40 @@ class ShardedEngine:
                  backend: str = "thread",
                  ets_policy_factory: Callable[[], EtsPolicy] | None = None,
                  batch_size: int = 1,
+                 block_mode: bool = False,
                  state_dir: str | Path | None = None,
                  checkpoint_every: int | None = None,
                  observers=None,
                  op_timeout: float = 60.0,
                  disorder_bound: float = 0.0,
+                 feedback: Callable[[], Any] | None = None,
                  feedback_factory: Callable[[], Any] | None = None,
-                 retry_limit: int = 1) -> None:
+                 retry_limit: int = 1,
+                 config: EngineConfig | None = None) -> None:
+        if feedback_factory is not None:
+            warnings.warn(
+                "feedback_factory= is deprecated; pass the factory as "
+                "feedback= (the canonical spelling shared with Simulation "
+                "and EngineConfig)",
+                DeprecationWarning, stacklevel=2)
+            if feedback is None:
+                feedback = feedback_factory
+        if config is not None:
+            knobs = config.resolve(
+                dict(batch_size=batch_size, block_mode=block_mode,
+                     checkpoint_every=checkpoint_every,
+                     state_dir=state_dir),
+                dict(batch_size=1, block_mode=False, checkpoint_every=None,
+                     state_dir=None))
+            batch_size = knobs["batch_size"]
+            block_mode = knobs["block_mode"]
+            checkpoint_every = knobs["checkpoint_every"]
+            state_dir = knobs["state_dir"]
+            if ets_policy_factory is None:
+                ets_policy_factory = config.ets_policy_factory()
+            if feedback is None:
+                feedback = config.feedback_factory()
+            observers = config.resolved_observers(observers) or None
         if backend not in BACKENDS:
             raise ReproError(f"unknown shard backend {backend!r}; "
                              f"expected one of {BACKENDS}")
@@ -142,7 +179,7 @@ class ShardedEngine:
         self.ingested = 0
         self.wakeups = 0
         self._closed = False
-        self.feedback_enabled = feedback_factory is not None
+        self.feedback_enabled = feedback is not None
         self.global_pressure = 0.0
         self.clamps_broadcast = 0
 
@@ -152,10 +189,11 @@ class ShardedEngine:
             return {
                 "ets_policy_factory": ets_policy_factory,
                 "batch_size": batch_size,
+                "block_mode": block_mode,
                 "state_dir": shard_state,
                 "checkpoint_every": checkpoint_every,
                 "disorder_bound": disorder_bound,
-                "feedback_factory": feedback_factory,
+                "feedback_factory": feedback,
             }
 
         self._shard_kwargs = shard_kwargs

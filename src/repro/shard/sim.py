@@ -33,8 +33,9 @@ class ShardedSimulation:
     Args:
         build: Fresh-graph factory, forwarded to :class:`ShardedEngine`.
         shards / key / backend / ets_policy_factory / batch_size /
-            state_dir / checkpoint_every / observers / op_timeout /
-            disorder_bound: Forwarded to :class:`ShardedEngine`.
+            block_mode / state_dir / checkpoint_every / observers /
+            op_timeout / disorder_bound / feedback / config: Forwarded to
+            :class:`ShardedEngine`.
         heartbeats: Optional ``{source: rate}`` map of periodic punctuation
             (scenario-B style), broadcast to every shard.
         wake_every: Exchange flushes per drive — the engine wakes up after
@@ -45,17 +46,22 @@ class ShardedSimulation:
                  key: str | Callable[[Any], Any],
                  backend: str = "serial",
                  ets_policy_factory=None, batch_size: int = 1,
+                 block_mode: bool = False,
                  heartbeats: Mapping[str, float] | None = None,
                  wake_every: int = 8,
                  state_dir=None, checkpoint_every: int | None = None,
                  observers=None, op_timeout: float = 60.0,
-                 disorder_bound: float = 0.0) -> None:
+                 disorder_bound: float = 0.0,
+                 feedback=None,
+                 config=None) -> None:
         self.engine = ShardedEngine(
             build, shards=shards, key=key, backend=backend,
             ets_policy_factory=ets_policy_factory, batch_size=batch_size,
+            block_mode=block_mode,
             state_dir=state_dir, checkpoint_every=checkpoint_every,
             observers=observers, op_timeout=op_timeout,
-            disorder_bound=disorder_bound)
+            disorder_bound=disorder_bound, feedback=feedback,
+            config=config)
         self.heartbeats = dict(heartbeats or {})
         if wake_every <= 0:
             raise WorkloadError(f"wake_every must be positive, "

@@ -23,9 +23,11 @@ Typical use::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+from ..core.config import EngineConfig
 from ..core.ets import EtsPolicy, PeriodicEtsSchedule
 from ..core.errors import PolicyError, WorkloadError
 from ..core.execution import ExecutionEngine
@@ -73,6 +75,10 @@ class Simulation:
             consume a run of up to N elements (never across a punctuation).
             The ``deliver_due`` hook then runs once per batch rather than
             once per tuple, which is exactly the amortization being bought.
+        block_mode: Columnar execution forwarded to the engine; see
+            :class:`~repro.core.execution.ExecutionEngine`.  Combine with a
+            real ``batch_size`` (the :class:`~repro.api.Pipeline` default
+            is 64).
         stall_detector: Optional
             :class:`~repro.faults.degrade.StallDetector`; the kernel polls
             it on a recurring watchdog event and, when a source crosses the
@@ -97,6 +103,15 @@ class Simulation:
         recovery: Optional :class:`~repro.recovery.RecoveryManager`; bound
             to this simulation's graph/engine/clock at construction, making
             every ingest and wake-up WAL-logged and crash-recoverable.
+        config: Optional :class:`~repro.core.config.EngineConfig` supplying
+            defaults for the shared knobs (batch_size, block_mode,
+            checkpoint_every, observers, feedback, ets_policy, recovery,
+            max_steps_per_round).  Explicit keyword arguments win.
+        engine_cls / engine_kwargs: Alternative engine class (e.g. the
+            round-robin scheduling ablation) and its extra constructor
+            kwargs.  Passing knobs through ``engine_kwargs`` that have
+            first-class Simulation parameters (batch_size, block_mode,
+            feedback, checkpoint_every, observers) is deprecated.
     """
 
     def __init__(self, graph: QueryGraph, *,
@@ -107,6 +122,7 @@ class Simulation:
                  track_idle: bool = True,
                  offer_ets_always: bool = False,
                  batch_size: int = 1,
+                 block_mode: bool = False,
                  stall_detector=None,
                  quarantine=None,
                  feedback=None,
@@ -115,8 +131,37 @@ class Simulation:
                  max_steps_per_round: int | None = None,
                  checkpoint_every: int | None = None,
                  recovery=None,
+                 config: EngineConfig | None = None,
                  engine_cls: type[ExecutionEngine] = ExecutionEngine,
                  engine_kwargs: dict | None = None) -> None:
+        if engine_kwargs:
+            duplicated = sorted(set(engine_kwargs) & {
+                "batch_size", "block_mode", "feedback", "checkpoint_every",
+                "observers"})
+            if duplicated:
+                warnings.warn(
+                    f"passing {', '.join(duplicated)} through engine_kwargs "
+                    "is deprecated; use the first-class Simulation keyword "
+                    "(or an EngineConfig / repro.api.Pipeline.engine())",
+                    DeprecationWarning, stacklevel=2)
+        if config is not None:
+            knobs = config.resolve(
+                dict(batch_size=batch_size, block_mode=block_mode,
+                     checkpoint_every=checkpoint_every,
+                     max_steps_per_round=max_steps_per_round),
+                dict(batch_size=1, block_mode=False, checkpoint_every=None,
+                     max_steps_per_round=None))
+            batch_size = knobs["batch_size"]
+            block_mode = knobs["block_mode"]
+            checkpoint_every = knobs["checkpoint_every"]
+            max_steps_per_round = knobs["max_steps_per_round"]
+            if ets_policy is None:
+                ets_policy = config.ets_policy_instance()
+            if feedback is None:
+                feedback = config.feedback_instance()
+            if recovery is None:
+                recovery = config.recovery
+            observers = config.resolved_observers(observers) or None
         self.graph = graph
         if not graph.is_validated:
             graph.validate()
@@ -130,6 +175,8 @@ class Simulation:
         merged_kwargs = dict(engine_kwargs or {})
         if batch_size != 1:
             merged_kwargs.setdefault("batch_size", batch_size)
+        if block_mode:
+            merged_kwargs.setdefault("block_mode", block_mode)
         if feedback is not None:
             merged_kwargs.setdefault("feedback", feedback)
         if checkpoint_every is not None:

@@ -92,7 +92,7 @@ class DifferentialOracle:
     # ------------------------------------------------------------------ #
     # Running one variant
 
-    def run(self, *, batch_size: int = 1,
+    def run(self, *, batch_size: int = 1, block_mode: bool = False,
             ets_policy: EtsPolicy | None = None,
             punctuate: bool = False, eos: bool = True,
             observers=None) -> list[SinkRecord]:
@@ -120,6 +120,7 @@ class DifferentialOracle:
             cost_model=None,
             ets_policy=ets_policy if ets_policy is not None else NoEts(),
             batch_size=batch_size,
+            block_mode=block_mode,
             observers=observers,
         )
         sources = {src.name: src for src in graph.sources()}
@@ -188,6 +189,31 @@ class DifferentialOracle:
             got = norm(self.run(batch_size=size, ets_policy=policy()))
             _assert_same(reference, got,
                          f"batch_size={size} diverged from scalar")
+
+    def assert_block_equals_scalar(
+            self, batch_sizes: Sequence[int] = (2, 3, 8, 64),
+            ets_policy_factory: Callable[[], EtsPolicy] | None = None,
+            *, canonical: bool = False) -> None:
+        """The columnar engine must reproduce the scalar sink sequence
+        exactly, at every block width.
+
+        Runs the same comparison as :meth:`assert_batched_equals_scalar`
+        but with ``block_mode=True`` — operators that support blocks take
+        the columnar path, everything else exercises the lazy-explode
+        fallback.  See that method for when ``canonical=True`` is
+        appropriate.
+        """
+        def policy() -> EtsPolicy:
+            return ets_policy_factory() if ets_policy_factory else NoEts()
+
+        norm = _canonical if canonical else (lambda records: records)
+        reference = norm(self.run(batch_size=1, ets_policy=policy()))
+        for size in batch_sizes:
+            got = norm(self.run(batch_size=size, block_mode=True,
+                                ets_policy=policy()))
+            _assert_same(reference, got,
+                         f"block_mode (batch_size={size}) diverged "
+                         f"from scalar")
 
     def assert_ets_invariant(self, *, batch_size: int = 1,
                              external_delta: float = 0.0) -> None:

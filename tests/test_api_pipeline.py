@@ -1,0 +1,244 @@
+"""The fluent Pipeline surface: graph parity, knob routing, drive parity.
+
+The contract under test: a :class:`repro.api.Pipeline` is *sugar*, never
+semantics — the graph it builds is structurally identical to the one the
+lower-level :class:`Query` builder (or hand wiring) produces, and a
+pipeline run delivers exactly what a hand-assembled
+``Simulation(graph, ...)`` delivers for the same feeds and knobs.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    AggSpec,
+    Arrival,
+    Count,
+    EngineConfig,
+    GraphError,
+    NoEts,
+    OnDemandEts,
+    Pipeline,
+    Query,
+    Simulation,
+    WindowSpec,
+    WorkloadError,
+)
+
+
+def _arrivals(n=40, dt=0.25, start=0.0):
+    return [Arrival(time=start + (i + 1) * dt,
+                    payload={"v": i % 7, "k": i % 3, "uid": i})
+            for i in range(n)]
+
+
+def _records(sink):
+    return [(t.ts, t.payload) for t in sink.outputs_seen]
+
+
+# --------------------------------------------------------------------- #
+# Graph parity
+
+
+class TestGraphParity:
+    def build_query(self):
+        q = Query("parity")
+        a = q.source("a")
+        b = q.source("b")
+        merged = (a.select(lambda p: p["v"] < 5, name="keep")
+                   .map(lambda p: p, name="ident")
+                   .union(b.shed(0.0, name="shed0"), name="merge"))
+        merged.tumbling(5.0, {"n": AggSpec(Count)}, name="agg") \
+              .sink("out")
+        return q.build()
+
+    def build_pipeline(self):
+        p = Pipeline("parity")
+        a = p.source("a")
+        b = p.source("b")
+        (a.select(lambda p: p["v"] < 5, name="keep")
+          .map(lambda p: p, name="ident")
+          .union(b.shed(0.0, name="shed0"), name="merge")
+          .tumbling(5.0, {"n": AggSpec(Count)}, name="agg")
+          .sink("out"))
+        return p.compile()
+
+    def test_same_structure(self):
+        assert self.build_pipeline().describe() == \
+            self.build_query().describe()
+
+    def test_window_join_is_join(self):
+        def shape(use_alias):
+            p = Pipeline("j")
+            a = p.source("a")
+            b = p.source("b")
+            joiner = a.window_join if use_alias else a.join
+            joiner(b, WindowSpec.time(2.0), key="k", name="jo").sink("out")
+            return p.compile().describe()
+        assert shape(True) == shape(False)
+
+    def test_auto_names_match_builder(self):
+        q = Query("auto")
+        q.source().select(lambda p: True).sink()
+        p = Pipeline("auto")
+        p.source().select(lambda p: True).sink()
+        assert p.compile().describe() == q.build().describe()
+
+    def test_class_level_source_starts_anonymous_pipeline(self):
+        stream = Pipeline.source("ticks")
+        pipeline = stream.pipeline
+        assert isinstance(pipeline, Pipeline)
+        stream.map(lambda p: p).sink("out")
+        graph = pipeline.compile()
+        assert "ticks" in graph and "out" in graph
+
+    def test_sink_registers_and_returns_pipeline(self):
+        p = Pipeline("s")
+        result = p.source("a").sink("out", keep_outputs=True)
+        assert result is p
+        assert set(p.sinks) == {"out"}
+        assert p.sinks["out"].keep_outputs
+
+    def test_compile_freezes_shape(self):
+        p = Pipeline("frozen")
+        p.source("a").sink("out")
+        p.compile()
+        with pytest.raises(GraphError):
+            p.source("late")
+
+
+# --------------------------------------------------------------------- #
+# Drive parity: Pipeline.run == hand-built Simulation
+
+
+class TestDriveParity:
+    def hand_built(self, arrivals, *, batch_size, block_mode, policy):
+        q = Query("drive")
+        a = q.source("a")
+        b = q.source("b")
+        (a.select(lambda p: p["v"] != 2)
+          .union(b.map(lambda p: {**p, "tag": 1}))
+          .sink("out", keep_outputs=True))
+        graph = q.build()
+        sim = Simulation(graph, ets_policy=policy(), batch_size=batch_size,
+                         block_mode=block_mode)
+        sim.attach_arrivals(graph["a"], iter(arrivals))
+        sim.attach_arrivals(graph["b"],
+                            iter(_arrivals(10, dt=1.1, start=0.05)))
+        sim.run(until=60.0)
+        return _records(graph["out"])
+
+    def pipeline_built(self, arrivals, *, policy, **engine_knobs):
+        p = Pipeline("drive")
+        a = p.source("a")
+        b = p.source("b")
+        (a.select(lambda p: p["v"] != 2)
+          .union(b.map(lambda p: {**p, "tag": 1}))
+          .sink("out", keep_outputs=True))
+        (p.engine(ets_policy=policy, **engine_knobs)
+          .feed("a", iter(arrivals))
+          .feed(b, iter(_arrivals(10, dt=1.1, start=0.05)))
+          .run(until=60.0))
+        return _records(p.sinks["out"])
+
+    @pytest.mark.parametrize("policy", [NoEts, OnDemandEts])
+    def test_pipeline_matches_hand_built_across_modes(self, policy):
+        arrivals = _arrivals()
+        scalar = self.hand_built(arrivals, batch_size=1, block_mode=False,
+                                 policy=policy)
+        for knobs in ({"batch_size": 1, "block_mode": False},
+                      {"batch_size": 8, "block_mode": False},
+                      {"batch_size": 64, "block_mode": True},
+                      {}):  # pipeline default: batch 64, block mode on
+            got = self.pipeline_built(arrivals, policy=policy, **knobs)
+            assert got == scalar, f"knobs={knobs}"
+
+    def test_default_engine_is_columnar(self):
+        p = Pipeline("defaults")
+        p.source("a").sink("out")
+        sim = p.feed("a", iter(_arrivals(20))).run(until=30.0)
+        assert sim.engine.batch_size == 64
+        assert sim.engine.block_mode is True
+        assert sim.engine.stats.blocks > 0
+
+    def test_run_resumes_same_simulation(self):
+        p = Pipeline("resume")
+        p.source("a").sink("out", keep_outputs=True)
+        p.feed("a", iter(_arrivals(20, dt=1.0)))
+        first = p.run(until=5.0)
+        seen = len(p.sinks["out"].outputs_seen)
+        second = p.run(until=60.0)
+        assert second is first
+        assert len(p.sinks["out"].outputs_seen) >= seen
+
+    def test_feed_unknown_source_raises(self):
+        p = Pipeline("bad")
+        p.source("a").sink("out")
+        p.feed("nope", iter(_arrivals(3)))
+        with pytest.raises(WorkloadError):
+            p.run(until=1.0)
+
+
+# --------------------------------------------------------------------- #
+# Knob routing: EngineConfig fields vs Simulation kwargs
+
+
+class TestEngineKnobs:
+    def test_config_fields_go_to_config(self):
+        p = Pipeline("knobs")
+        p.engine(batch_size=16, block_mode=False, checkpoint_every=7)
+        assert p.config.batch_size == 16
+        assert p.config.block_mode is False
+        assert p.config.checkpoint_every == 7
+
+    def test_non_config_knobs_reach_simulation(self):
+        from repro.sim import CostModel
+
+        p = Pipeline("knobs2")
+        p.source("a").sink("out")
+        sim = (p.engine(cost_model=CostModel.zero(), start_time=3.0)
+                .build_simulation())
+        assert sim.clock.now() == 3.0
+
+    def test_engine_accepts_config_seed(self):
+        config = EngineConfig(batch_size=4, block_mode=False)
+        p = Pipeline("seeded", config=config)
+        p.source("a").sink("out")
+        sim = p.build_simulation()
+        assert sim.engine.batch_size == 4
+        assert sim.engine.block_mode is False
+
+    def test_from_program_wires_sinks_and_feeds_by_name(self):
+        program = """
+        STREAM fast (seq int, value float) TIMESTAMP INTERNAL;
+        s1 = SELECT * FROM fast WHERE value < 10;
+        SINK s1 AS out;
+        """
+        p = Pipeline.from_program(program, name="esl")
+        assert set(p.sinks) == {"out"}
+        arrivals = [Arrival(time=(i + 1) * 0.5,
+                            payload={"seq": i, "value": float(i)})
+                    for i in range(10)]
+        (p.engine(ets_policy=OnDemandEts, batch_size=1, block_mode=False)
+          .feed("fast", iter(arrivals))
+          .run(until=30.0))
+        assert p.sinks["out"].delivered == 10
+
+    def test_heartbeat_builds_periodic_schedule(self):
+        p = Pipeline("hb")
+        p.source("a").sink("out")
+        sim = (p.engine(ets_policy=NoEts)
+                .feed("a", iter(_arrivals(5, dt=2.0)))
+                .heartbeat("a", 4.0)
+                .run(until=12.0))
+        assert sim.heartbeats_delivered > 0
+
+    def test_no_deprecation_warnings_from_pipeline(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            p = Pipeline("clean")
+            p.source("a").sink("out")
+            p.feed("a", iter(_arrivals(10))).run(until=10.0)

@@ -407,8 +407,8 @@ def _shard_build():
 def test_clamp_staleness_bounded_by_one_wakeup(backend):
     engine = ShardedEngine(
         _shard_build, shards=2, key="k", backend=backend,
-        feedback_factory=lambda: FeedbackController(high_watermark=4,
-                                                    low_watermark=1))
+        feedback=lambda: FeedbackController(high_watermark=4,
+                                            low_watermark=1))
     try:
         expected_clamp = 0.0  # first wakeup broadcasts the initial view
         last_global = 0.0
@@ -438,8 +438,8 @@ def test_clamp_round_trips_through_process_backend():
     engine = ShardedEngine(
         _shard_build, shards=2, key="k", backend="process",
         op_timeout=30.0,
-        feedback_factory=lambda: FeedbackController(high_watermark=4,
-                                                    low_watermark=1))
+        feedback=lambda: FeedbackController(high_watermark=4,
+                                            low_watermark=1))
     try:
         for round_no in range(4):
             for i in range(8):

@@ -76,8 +76,8 @@ class TestRoundRobinInKernel:
         g, s1, s2, u, sink = union_graph()
         sim = Simulation(g, ets_policy=OnDemandEts(),
                          cost_model=CostModel.zero(),
-                         engine_cls=RoundRobinEngine,
-                         engine_kwargs={"batch_size": 4})
+                         batch_size=4,
+                         engine_cls=RoundRobinEngine)
         sim.attach_arrivals(s1, iter([Arrival(1.0, {"v": 1})]))
         sim.run(until=5.0)
         assert sink.delivered == 1
