@@ -168,7 +168,7 @@ def test_columnar_block_speedup():
         set_numpy(None)
 
     record_bench(
-        "columnar", results,
+        "columnar", results, merge=True,
         workload={"tuples": TUPLES, "block": BLOCK,
                   "speedup_floor": SPEEDUP_FLOOR},
         numpy=numpy_available())

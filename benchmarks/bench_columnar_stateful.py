@@ -1,0 +1,221 @@
+"""Bench X9: the vectorized stateful hot path vs the micro-batched engine.
+
+Not a paper artefact — this measures the PR-9 claim: a full paper-style
+plan (out-of-order stream → Reorder → WindowJoin against an ordered
+stream, matches strictly Union-merged with a third stream) must run
+end-to-end on the columnar block path — **zero** block fallbacks — and at
+least double the engine throughput of the PR-1 micro-batched path
+(``batch_size=64``) on the same graph, with identical deliveries.
+
+Methodology matches bench X8 (``bench_columnar.py``): payloads are
+pre-built, ingested in block-sized chunks round-robin across the three
+sources, and only the ``engine.wakeup`` calls are timed; interleaved
+min-of-k with GC disabled and an early exit once the ratio is comfortably
+inside budget.  Both column layouts are exercised.  Results merge into
+``BENCH_columnar.json`` next to the X8 rows (``merge=True`` keeps both
+suites' rows in one trajectory file).
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+from time import perf_counter
+
+from repro.core.columnar import numpy_available, set_numpy
+from repro.core.execution import ExecutionEngine
+from repro.core.ets import OnDemandEts
+from repro.core.graph import QueryGraph
+from repro.core.operators import Reorder, Union, WindowJoin
+from repro.core.tuples import TimestampKind
+from repro.core.windows import WindowSpec
+from repro.sim.clock import VirtualClock
+
+from record import record_bench
+
+TUPLES = 60_000
+#: Ingest chunk == the batched engine's batch size (the PR-1 baseline).
+BLOCK = 64
+#: The block engine's morsel size.  Columnar execution exists to process
+#: bigger units of work per dispatch; capping it at the scalar batch size
+#: would chop every buffered run into 64-row slices (each split copies
+#: column arrays) and measure the allocator, not the engine.
+BLOCK_MORSEL = 1024
+#: Inter-arrival spacing (stream seconds) and the disorder bound on the
+#: out-of-order stream; slack and the join window are sized in rows so
+#: the reorder genuinely parks and the join windows hold real state.
+#: The join window must exceed ingest-chunk span + reorder slack
+#: (64 + 50 rows): rows released by the reorder probe with timestamps
+#: that far behind the stream frontier, and a narrower window would make
+#: every such probe miss — flooding the plan with no-match punctuations,
+#: each of which is a batch boundary downstream.
+GAP = 0.001
+DISORDER = 20 * GAP
+SLACK = 50 * GAP
+JOIN_WINDOW = 100 * GAP
+SPEEDUP_FLOOR = 2.0
+SPEEDUP_COMFORT = 2.2
+MAX_ROUNDS = 6
+
+
+def _combine(left: dict, right: dict) -> dict:
+    """Projection combiner: the usual select-list join output.
+
+    The default ``merge_payloads`` combiner does per-key collision
+    detection — identical cost in both engine modes, so it only dilutes
+    the engine-overhead ratio under test.  A fixed select-list is what a
+    compiled query plan would run anyway.
+    """
+    return {"k": left["k"], "l_uid": left["uid"], "r_uid": right["uid"],
+            "l_v": left["v"], "r_v": right["v"]}
+
+
+def build_plan():
+    """The paper-style stateful plan: Reorder → WindowJoin → strict Union."""
+    graph = QueryGraph("stateful-plan")
+    a = graph.add_source("a", TimestampKind.EXTERNAL, out_of_order=True)
+    b = graph.add_source("b")
+    c = graph.add_source("c")
+    reorder = graph.add(Reorder("reorder", SLACK))
+    join = graph.add(WindowJoin("join", WindowSpec.time(JOIN_WINDOW),
+                                key="k", indexed=True, combiner=_combine))
+    strict = graph.add(Union("strict", strict=True))
+    sink = graph.add_sink("sink")
+    graph.connect(a, reorder)
+    graph.connect(reorder, join)
+    graph.connect(b, join)
+    graph.connect(join, strict)
+    graph.connect(c, strict)
+    graph.connect(strict, sink)
+    return graph, sink
+
+
+def _feeds(tuples: int) -> list[tuple[str, float, float | None, dict]]:
+    """Deterministic (source, time, external_ts, payload) schedule.
+
+    The two joined streams ``a``/``b`` alternate densely (the hot path);
+    ``c`` is a sparse control stream merged in by the strict union — the
+    usual shape of a monitored join, and the shape whose long one-sided
+    runs the columnar engine is built to exploit.  The ``a`` stream
+    carries application timestamps jittered up to ``DISORDER`` behind
+    arrival, so the reorder parks, sorts, and occasionally late-drops
+    for real.
+    """
+    rng = random.Random(11)
+    out = []
+    for i in range(tuples):
+        t = i * GAP
+        slot = i % 16
+        src = "c" if slot == 15 else ("a" if slot % 2 == 0 else "b")
+        ets = t - rng.random() * DISORDER if src == "a" else None
+        out.append((src, t, ets, {"k": (i // 2) % 8, "v": i % 11, "uid": i}))
+    return out
+
+
+def _drive(feeds, *, block_mode: bool):
+    """One full drive; returns (engine_seconds, delivered, stats)."""
+    graph, sink = build_plan()
+    clock = VirtualClock()
+    engine = ExecutionEngine(graph, clock, cost_model=None,
+                             ets_policy=OnDemandEts(),
+                             batch_size=BLOCK_MORSEL if block_mode else BLOCK,
+                             block_mode=block_mode)
+    sources = {name: graph[name] for name in ("a", "b", "c")}
+    engine_s = 0.0
+    for base in range(0, len(feeds), BLOCK):
+        chunk = feeds[base:base + BLOCK]
+        now = chunk[-1][1]
+        clock.advance_to(now)
+        for src, t, ets, payload in chunk:
+            sources[src].ingest(payload, now=now, ts=ets, arrival=t)
+        t0 = perf_counter()
+        engine.wakeup(entry=sources[chunk[-1][0]])
+        engine_s += perf_counter() - t0
+    # Drain: one punctuation per source past every pending timestamp.
+    final = feeds[-1][1] + 1.0
+    for name in ("a", "b", "c"):
+        sources[name].inject_punctuation(final, origin=f"eos:{name}")
+    t0 = perf_counter()
+    engine.wakeup()
+    engine_s += perf_counter() - t0
+    return engine_s, sink.delivered, engine.stats
+
+
+def _measure(feeds) -> dict:
+    """Interleaved min-of-k drive of both engine modes over the plan."""
+    _drive(feeds, block_mode=False)  # warm both paths
+    _drive(feeds, block_mode=True)
+    batched_s = block_s = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for i in range(MAX_ROUNDS):
+            s, batched_delivered, batched_stats = _drive(
+                feeds, block_mode=False)
+            batched_s = min(batched_s, s)
+            s, block_delivered, block_stats = _drive(
+                feeds, block_mode=True)
+            block_s = min(block_s, s)
+            gc.collect()
+            if i >= 1 and batched_s / block_s >= SPEEDUP_COMFORT:
+                break
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    # Identity + fallback guards: the speedup must not come from doing
+    # different (or less) work, and no stateful operator may have
+    # quietly dropped to the scalar path.
+    assert block_delivered == batched_delivered
+    assert batched_stats.blocks == 0
+    assert block_stats.blocks > 0
+    assert block_stats.block_fallbacks == 0, (
+        f"stateful plan fell back {block_stats.block_fallbacks}x: "
+        f"{block_stats.block_fallbacks_by_operator}")
+    assert block_stats.block_fallbacks_by_operator == {}
+
+    n = len(feeds)
+    return {
+        "batched_tuples_per_s": round(n / batched_s),
+        "block_tuples_per_s": round(n / block_s),
+        "speedup": round(batched_s / block_s, 2),
+        "delivered": block_delivered,
+        "blocks": block_stats.blocks,
+        "block_rows": block_stats.block_rows,
+        "rounds": i + 1,
+    }
+
+
+def test_columnar_stateful_speedup():
+    """Block mode >= 2x the batched engine on the stateful plan, both
+    layouts, with zero block fallbacks."""
+    feeds = _feeds(TUPLES)
+    layouts = ["python"] + (["numpy"] if numpy_available() else [])
+    results: dict[str, dict] = {}
+    try:
+        for layout in layouts:
+            set_numpy(layout == "numpy")
+            row = _measure(feeds)
+            results[f"{layout}/stateful_plan"] = row
+            print(f"\nX9 — {layout}/stateful_plan: "
+                  f"{row['block_tuples_per_s']:,} tuples/s columnar vs "
+                  f"{row['batched_tuples_per_s']:,} batched "
+                  f"({row['speedup']:.2f}x, {row['blocks']} blocks, "
+                  f"0 fallbacks)")
+    finally:
+        set_numpy(None)
+
+    record_bench(
+        "columnar", results, merge=True,
+        stateful_workload={"tuples": TUPLES, "block": BLOCK,
+                           "block_morsel": BLOCK_MORSEL,
+                           "gap": GAP, "disorder": DISORDER,
+                           "slack": SLACK, "join_window": JOIN_WINDOW,
+                           "speedup_floor": SPEEDUP_FLOOR},
+        numpy=numpy_available())
+
+    for key, row in results.items():
+        assert row["speedup"] >= SPEEDUP_FLOOR, (
+            f"{key}: columnar stateful plan is only {row['speedup']:.2f}x "
+            f"the batched path (floor: {SPEEDUP_FLOOR}x) — did a stateful "
+            "operator lose its execute_block, forcing scalar fallbacks?")

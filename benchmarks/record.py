@@ -37,7 +37,8 @@ def _git_sha() -> str | None:
     return sha if proc.returncode == 0 and sha else None
 
 
-def record_bench(name: str, results: Any, **meta: Any) -> Path:
+def record_bench(name: str, results: Any, *, merge: bool = False,
+                 **meta: Any) -> Path:
     """Write ``BENCH_<name>.json`` at the repo root; returns the path.
 
     Args:
@@ -45,6 +46,13 @@ def record_bench(name: str, results: Any, **meta: Any) -> Path:
             history *is* the perf trajectory.
         results: The benchmark's numbers (any JSON-serializable shape;
             ops/sec, wall seconds, probe counts, per-config rows, ...).
+        merge: When True and a parseable ``BENCH_<name>.json`` already
+            exists with dict-shaped results, update that document instead
+            of replacing it: existing result rows and meta fields survive
+            unless this call writes the same key.  Lets several benchmarks
+            share one record (e.g. the stateless and stateful columnar
+            suites both feeding ``BENCH_columnar.json``) without the later
+            writer erasing the earlier one's rows.
         **meta: Extra top-level fields (workload sizes, thresholds, ...).
     """
     doc: dict[str, Any] = {
@@ -54,9 +62,19 @@ def record_bench(name: str, results: Any, **meta: Any) -> Path:
         "python": platform.python_version(),
         "platform": platform.platform(),
     }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    if merge and path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except ValueError:
+            previous = None
+        if isinstance(previous, dict):
+            prior_results = previous.pop("results", None)
+            if isinstance(prior_results, dict) and isinstance(results, dict):
+                results = {**prior_results, **results}
+            doc = {**previous, **doc}
     doc.update(meta)
     doc["results"] = results
-    path = REPO_ROOT / f"BENCH_{name}.json"
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"\nrecorded {path.name}")
     return path

@@ -87,6 +87,7 @@ class BufferRegistry:
         self._total = 0
         self._peak = 0
         self._interval_peak = 0
+        self._mutations = 0
         self._observer: Callable[[int], None] | None = None
         self._observers: list[Callable[[int], None]] = []
         #: Optional callback invoked with structured fields *before* an
@@ -109,6 +110,17 @@ class BufferRegistry:
     def peak(self) -> int:
         """Largest total ever observed."""
         return self._peak
+
+    @property
+    def mutations(self) -> int:
+        """Monotonic count of buffer changes (pushes, pops, drains).
+
+        The engine's walk uses this as a cheap version stamp: a set of
+        operators known to be unable to execute stays valid exactly until
+        any buffer in the graph changes.  Counts calls, not net occupancy —
+        a pop immediately followed by a push still advances the stamp.
+        """
+        return self._mutations
 
     def set_observer(self, observer: Callable[[int], None] | None) -> None:
         """Install a callback invoked with the new total after every change."""
@@ -146,6 +158,7 @@ class BufferRegistry:
         return self._interval_peak
 
     def _delta(self, amount: int) -> None:
+        self._mutations += 1
         self._total += amount
         if self._total > self._peak:
             self._peak = self._total

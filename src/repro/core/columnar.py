@@ -240,19 +240,24 @@ class ColumnarBlock:
                           self.payloads, sel[n:]),
         )
 
-    def split_below(self, max_ts: float) -> tuple["ColumnarBlock",
-                                                  "ColumnarBlock | None"]:
+    def split_below(self, max_ts: float, *,
+                    inclusive: bool = False) -> tuple["ColumnarBlock",
+                                                      "ColumnarBlock | None"]:
         """Split before the first row stamped at or above ``max_ts``.
 
         Mirrors :meth:`StreamBuffer.drain_batch`'s ``max_ts`` rule: latent
         rows never stop a run, so they stay with the head part.  Returns
         ``(head, tail)`` with ``tail is None`` when nothing was cut off.
+
+        With ``inclusive=True`` the cut moves past rows stamped exactly
+        ``max_ts`` (head holds ``ts <= max_ts``) — the reorder operator's
+        slack-bound eviction is an inclusive threshold.
         """
         ts = self.ts
         sel = self._positions()
         for pos, i in enumerate(sel):
             t = ts[i]
-            if t != LATENT_TS and t >= max_ts:
+            if t != LATENT_TS and (t > max_ts if inclusive else t >= max_ts):
                 return (
                     ColumnarBlock(self.ts, self.seq, self.kind, self.arrival,
                                   self.payloads, sel[:pos]),

@@ -91,6 +91,7 @@ class EngineStats:
     block_rows: int = 0
     block_fallbacks: int = 0
     per_operator_steps: dict[str, int] = field(default_factory=dict)
+    block_fallbacks_by_operator: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, object]:
         """Every counter under its canonical ``snake_case`` name.
@@ -104,6 +105,8 @@ class EngineStats:
         """Versioned snapshot of every counter (checkpointing)."""
         state = self.as_dict()
         state["per_operator_steps"] = dict(self.per_operator_steps)
+        state["block_fallbacks_by_operator"] = dict(
+            self.block_fallbacks_by_operator)
         state["version"] = 1
         return state
 
@@ -114,6 +117,9 @@ class EngineStats:
         for f in dataclass_fields(self):
             if f.name == "per_operator_steps":
                 self.per_operator_steps = dict(state[f.name])
+            elif f.name == "block_fallbacks_by_operator":
+                # Postdates snapshot version 1; default for old checkpoints.
+                self.block_fallbacks_by_operator = dict(state.get(f.name, {}))
             elif f.name in ("blocks", "block_rows", "block_fallbacks"):
                 # Columnar counters postdate snapshot version 1; default
                 # them so pre-columnar checkpoints keep restoring.
@@ -384,10 +390,22 @@ class ExecutionEngine:
         current = start
         execute = True  # False right after Backtrack ("repeat the NOS step")
         bus = self.bus
+        registry = self.graph.registry
+        # Operators (and sources) visited without executing since the last
+        # buffer mutation.  Re-reaching one means the NOS rules are cycling
+        # through a topology where Forward and Backtrack chase each other —
+        # a source feeding two consumers (diamond) does exactly that when
+        # one arm stalls gated on the other.  Any buffer change invalidates
+        # the set: new state means a dead operator may now execute.
+        dead: set[int] = set()
+        dead_stamp = registry.mutations
         while True:
             self._pump_due()
+            if registry.mutations != dead_stamp:
+                dead_stamp = registry.mutations
+                dead.clear()
             if isinstance(current, SourceNode):
-                nxt = self._forward_target(current)
+                nxt = self._forward_target(current, dead)
                 if nxt is not None:
                     if bus is not None:
                         bus.nos_decision(decision="forward",
@@ -396,6 +414,12 @@ class ExecutionEngine:
                                          time=self.clock.now())
                     current, execute = nxt, True
                     continue
+                # Every live successor is dead-ended: this is the genuine
+                # stalled-source dead end the ETS hook exists for, even when
+                # some output buffer is nonempty (diamond topologies).
+                if id(current) in dead:
+                    return progress
+                dead.add(id(current))
                 if self._try_ets(current):
                     progress = True
                     continue  # the injected punctuation enables Forward
@@ -409,13 +433,22 @@ class ExecutionEngine:
                     if current.supports_blocks:
                         self._step_block(current)
                     else:
-                        self.stats.block_fallbacks += 1
+                        stats = self.stats
+                        stats.block_fallbacks += 1
+                        by_op = stats.block_fallbacks_by_operator
+                        by_op[current.name] = by_op.get(current.name, 0) + 1
                         self._step_batch(current)
                 elif self.batch_size > 1:
                     self._step_batch(current)
                 else:
                     self._step(current)
                 progress = True
+            else:
+                # Visited without executing: a second visit in the same
+                # buffer state would retrace the identical continuation.
+                if id(current) in dead:
+                    return progress
+                dead.add(id(current))
 
             # [Continuation Step] — NOS rules
             nxt = self._forward_target(current)
@@ -449,15 +482,20 @@ class ExecutionEngine:
             current, execute = pred, False
 
     @staticmethod
-    def _forward_target(op: Operator) -> Operator | None:
+    def _forward_target(op: Operator,
+                        dead: set[int] | None = None) -> Operator | None:
         """Forward rule: the successor consuming a nonempty output buffer.
 
         Iterates the operator's precomputed ``forward_pairs`` table (arcs
         with a live consumer, maintained at wiring time) instead of
         re-zipping and re-filtering the edge lists on every NOS decision.
+
+        ``dead`` (source nodes only) skips successors already visited
+        without executing in the current buffer state, so a stalled diamond
+        reaches the ETS consultation instead of re-forwarding forever.
         """
         for buf, succ in op.forward_pairs:
-            if buf:
+            if buf and (dead is None or id(succ) not in dead):
                 return succ
         return None
 

@@ -145,10 +145,12 @@ class Operator:
     #: Required number of inputs; None means "one or more".
     arity: int | None = 1
     #: True for operators implementing :meth:`execute_block` — the columnar
-    #: path.  Stateful / ETS-sensitive operators (join, reorder) leave this
-    #: False and the block-mode engine falls back to :meth:`execute_batch`,
-    #: with incoming blocks exploded lazily by the buffer, so their
-    #: byte-identity is preserved by construction.
+    #: path.  Operators (or configurations) without one leave this False
+    #: and the block-mode engine falls back to :meth:`execute_batch`, with
+    #: incoming blocks exploded lazily by the buffer, so their
+    #: byte-identity is preserved by construction.  Stateful operators gate
+    #: it per instance: a strict (X1-ablation) join and a ``late="error"``
+    #: reorder stay scalar.
     supports_blocks: bool = False
 
     def __init__(self, name: str, *, output_schema: "Schema | None" = None) -> None:

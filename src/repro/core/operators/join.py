@@ -28,9 +28,11 @@ from __future__ import annotations
 from collections.abc import Mapping
 from typing import Any, Callable
 
+from .. import tuples as _tuples
 from ..buffers import StreamBuffer
+from ..columnar import ColumnarBlock
 from ..errors import ExecutionError
-from ..tuples import LATENT_TS, DataTuple, Punctuation
+from ..tuples import LATENT_TS, DataTuple, Punctuation, StreamElement
 from ..windows import (
     CountWindow,
     IndexedCountWindow,
@@ -41,6 +43,10 @@ from ..windows import (
 from .base import BatchResult, Operator, OpContext, StepResult
 
 __all__ = ["WindowJoin", "merge_payloads"]
+
+#: Sentinel distinguishing "no τ override" from any real gate value in
+#: :meth:`WindowJoin._handle_data` (gates can legitimately be any float).
+_NO_TAU = object()
 
 
 def merge_payloads(left: Any, right: Any,
@@ -87,6 +93,9 @@ class _EmptyWindow:
         return iter(())
 
     def insert(self, tup: DataTuple) -> None:
+        pass
+
+    def insert_run(self, tuples) -> None:
         pass
 
     def expire(self, now: float) -> int:
@@ -274,6 +283,21 @@ class WindowJoin(Operator):
                 return i
         return None
 
+    def _latent_head_index(self) -> int | None:
+        """Block-aware :meth:`_latent_ready_index` that never explodes a
+        head block.  Peeking refreshes the TSM register as a side effect;
+        the explicit update here mirrors that exactly (latent timestamps
+        never move a register), keeping the gates byte-identical between
+        the scalar and columnar paths."""
+        for i, buf in enumerate(self.inputs):
+            ts = buf.head_ts()
+            if ts is None:
+                continue
+            buf.register.update(ts)
+            if ts == LATENT_TS:
+                return i
+        return None
+
     def more(self) -> bool:
         if self._latent_ready_index() is not None:
             return True
@@ -295,6 +319,14 @@ class WindowJoin(Operator):
             if buf.is_empty and gates[i] == tau:
                 return i
         return min(range(len(gates)), key=gates.__getitem__)
+
+    @property
+    def supports_blocks(self) -> bool:  # type: ignore[override]
+        """Columnar eligibility: every gating mode except the strict X1
+        ablation, whose both-inputs-nonempty gate is inherently per-element
+        (each consumption can flip the gate, so there are no runs to
+        vectorize).  Strict joins keep the scalar fallback path."""
+        return not self.strict
 
     @property
     def window_size_total(self) -> int:
@@ -394,10 +426,25 @@ class WindowJoin(Operator):
             element = element.stamped(ctx.clock.now())
         return self._handle_data(idx, element)
 
-    def _handle_data(self, idx: int, tup: DataTuple) -> StepResult:
+    def _handle_data(self, idx: int, tup: DataTuple, *,
+                     staged: list[StreamElement] | None = None,
+                     tau_override: Any = _NO_TAU,
+                     maintain: bool = True) -> StepResult:
+        """Probe one data tuple against the opposite window.
+
+        The columnar path reuses the scalar logic verbatim through three
+        hooks: ``staged`` collects emissions instead of pushing them one by
+        one (flushed as blocks afterwards), ``tau_override`` supplies the
+        analytically-derived gate minimum for a mid-run tuple whose buffer
+        state has already been bulk-drained, and ``maintain=False`` defers
+        own-window expiry/insertion to a single :meth:`insert_run` after
+        the run.  With the defaults the behaviour is exactly the original
+        scalar step.
+        """
         other = 1 - idx
         own_window = self.windows[idx]
         other_window = self.windows[other]
+        out_emit = self.emit if staged is None else staged.append
         # Expire against the probing tuple's timestamp (Kang et al. order:
         # probe happens against the still-valid window contents).
         other_window.expire(tup.ts)
@@ -436,10 +483,11 @@ class WindowJoin(Operator):
                             payload=self.combiner(left_payload, right_payload),
                             kind=tup.kind,
                             arrival_ts=latest_arrival(tup, candidate))
-            self.emit(out)
+            out_emit(out)
             emitted += 1
-        own_window.expire(tup.ts)
-        own_window.insert(tup)
+        if maintain:
+            own_window.expire(tup.ts)
+            own_window.insert(tup)
         self.tuples_processed += 1
         self.matches_emitted += emitted
         if tup.ts > self._last_emitted_ts and emitted:
@@ -449,9 +497,10 @@ class WindowJoin(Operator):
             # "When we cannot generate a data tuple, we simply produce a
             # punctuation tuple for the benefit of the IWP operators down the
             # path" (paper Section 4.2).
-            tau = self._gates_tau()[1]
+            tau = (self._gates_tau()[1] if tau_override is _NO_TAU
+                   else tau_override)
             if tau > self._last_emitted_ts:
-                self.emit(Punctuation(ts=tau, origin=self.name))
+                out_emit(Punctuation(ts=tau, origin=self.name))
                 self._last_emitted_ts = tau
                 self.punctuation_forwarded += 1
                 emitted_punct = 1
@@ -517,6 +566,267 @@ class WindowJoin(Operator):
                 break  # punctuation is a batch boundary
             break  # no head at tau: more() is false
         return batch
+
+    def execute_block(self, ctx: OpContext, limit: int) -> BatchResult:
+        """Columnar join: bulk-drain one side's run and probe it row by row.
+
+        The scalar batch path already identifies one-sided *runs* — maximal
+        stretches where a single input keeps winning the τ selection because
+        its head stays strictly below the other input's gate.  Here the run
+        is materialized in one :meth:`StreamBuffer.drain_block` (zero-copy
+        when the producer pushed blocks), probed tuple-at-a-time (probing is
+        inherently per-row), and its window maintenance and emissions are
+        amortized: one :meth:`insert_run` into the own window per run, and
+        one :meth:`StreamBuffer.push_block` per emitted run.
+
+        The per-row no-match punctuation gate is derived *analytically* for
+        mid-run rows: while a run from input ``i`` is being consumed, the
+        other gate cannot move (that buffer is untouched), and input ``i``'s
+        own gate after row ``k`` is row ``k+1``'s timestamp when stamped, or
+        the running register maximum when latent — exactly what
+        ``_gates_tau()`` would have computed against the un-drained buffer.
+        The final row of a run uses the live gates (the buffer state is
+        already exact), so τ stays byte-identical to the scalar path.
+        """
+        if self.strict:  # pragma: no cover - supports_blocks gates this
+            return super().execute_batch(ctx, limit)
+        batch = BatchResult()
+        inputs = self.inputs
+        staged: list[StreamElement] = []
+        while batch.steps < limit:
+            latent_idx = self._latent_head_index()
+            if latent_idx is not None:
+                element = inputs[latent_idx].pop()
+                assert isinstance(element, DataTuple)
+                element = element.stamped(ctx.clock.now())
+                batch.add_step(
+                    self._handle_data(latent_idx, element, staged=staged))
+                continue
+            gates, tau = self._gates_tau()
+            if tau == LATENT_TS:
+                break
+            data_idx: int | None = None
+            punct_idx: int | None = None
+            for i, buf in enumerate(inputs):
+                if buf.head_ts() != tau:
+                    continue
+                if buf.head_is_punctuation():
+                    if punct_idx is None:
+                        punct_idx = i
+                else:
+                    data_idx = i
+                    break
+            if data_idx is not None:
+                buf = inputs[data_idx]
+                other_gate = gates[1 - data_idx]
+                block = buf.drain_block(limit - batch.steps,
+                                        max_ts=other_gate)
+                if block is None:
+                    # Head ties the other gate: the scalar run would consume
+                    # exactly this one element before its boundary check.
+                    element = buf.pop()
+                    assert isinstance(element, DataTuple)
+                    if element.is_latent:
+                        element = element.stamped(ctx.clock.now())
+                    batch.add_step(
+                        self._handle_data(data_idx, element, staged=staged))
+                    continue
+                rows = block.to_tuples()
+                n = len(rows)
+                own_window = self.windows[data_idx]
+                # Running register maximum for the analytic own-gate: the
+                # drained buffer's register value before the drain, folded
+                # with the stamped timestamps consumed so far (a scalar pop
+                # sequence updates the register with exactly these values;
+                # latent originals never enter it).
+                running_reg = buf.register.value
+                # The probe loop is inlined (rather than calling
+                # :meth:`_handle_data` per row) so a run costs no per-row
+                # StepResult/add_step dispatch; every branch below mirrors
+                # that method line for line.
+                other_window = self.windows[1 - data_idx]
+                left_side = data_idx == 0
+                use_index = self.indexed
+                adaptive = self.adaptive
+                bucket_floor = self.adaptive_threshold
+                key_field = (self.key_fields[data_idx]
+                             if self.key_fields is not None else None)
+                base_predicate = self.base_predicate
+                full_predicate = self.predicate
+                combiner = self.combiner
+                stage = staged.append
+                run_probes = 0
+                run_emitted = 0
+                run_punct = 0
+                # Matches go straight into column arrays — one block per
+                # maximal ordered stretch — instead of through a per-match
+                # DataTuple that _flush_staged would only decompose again.
+                # Sequence numbers come from the same global counter the
+                # DataTuple default would draw on, in the same order, so a
+                # downstream materialization rebuilds identical tuples.
+                col_ts: list[float] = []
+                col_seq: list[int] = []
+                col_kind: list = []
+                col_arrival: list[float] = []
+                col_payloads: list = []
+                cts_append = col_ts.append
+                cseq_append = col_seq.append
+                ckind_append = col_kind.append
+                carr_append = col_arrival.append
+                cpay_append = col_payloads.append
+                seq_counter = _tuples._SEQ
+                for k, tup in enumerate(rows):
+                    ts = tup.ts
+                    if ts == LATENT_TS:
+                        tup = rows[k] = tup.stamped(ctx.clock.now())
+                        ts = tup.ts
+                    elif ts > running_reg:
+                        running_reg = ts
+                    payload = tup.payload
+                    other_window.expire(ts)
+                    if use_index and (
+                            not adaptive
+                            or other_window.bucket_count >= bucket_floor):
+                        candidates = other_window.probe(payload[key_field])
+                        predicate = base_predicate
+                        self.indexed_probes += 1
+                    else:
+                        candidates = other_window.matches(ts)
+                        predicate = full_predicate
+                        self.scan_probes += 1
+                    emitted = 0
+                    tup_kind = tup.kind
+                    tup_arr = tup.arrival_ts
+                    tup_arr_nan = tup_arr != tup_arr
+                    for candidate in candidates:
+                        run_probes += 1
+                        left_payload, right_payload = (
+                            (payload, candidate.payload) if left_side
+                            else (candidate.payload, payload)
+                        )
+                        if predicate is not None and not predicate(
+                                left_payload, right_payload):
+                            continue
+                        if col_ts and ts < col_ts[-1]:
+                            # Order boundary (a stamped latent row can sit
+                            # below an external timestamp): close the block.
+                            staged.append(ColumnarBlock(
+                                col_ts, col_seq, col_kind, col_arrival,
+                                col_payloads))
+                            col_ts, col_seq, col_kind = [], [], []
+                            col_arrival, col_payloads = [], []
+                            cts_append = col_ts.append
+                            cseq_append = col_seq.append
+                            ckind_append = col_kind.append
+                            carr_append = col_arrival.append
+                            cpay_append = col_payloads.append
+                        cts_append(ts)
+                        cseq_append(next(seq_counter))
+                        ckind_append(tup_kind)
+                        cand_arr = candidate.arrival_ts
+                        if tup_arr_nan:
+                            carr_append(cand_arr)
+                        elif cand_arr != cand_arr or tup_arr >= cand_arr:
+                            carr_append(tup_arr)
+                        else:
+                            carr_append(cand_arr)
+                        cpay_append(combiner(left_payload, right_payload))
+                        emitted += 1
+                    self.tuples_processed += 1
+                    if emitted:
+                        self.matches_emitted += emitted
+                        run_emitted += emitted
+                        if ts > self._last_emitted_ts:
+                            self._last_emitted_ts = ts
+                    else:
+                        if k + 1 < n:
+                            nxt = rows[k + 1].ts
+                            own_gate = (nxt if nxt != LATENT_TS
+                                        else running_reg)
+                            tau = (own_gate if own_gate < other_gate
+                                   else other_gate)
+                        else:
+                            # Last row of the run: the buffer now holds
+                            # exactly the post-run state, so the live
+                            # gates apply.
+                            tau = self._gates_tau()[1]
+                        if tau > self._last_emitted_ts:
+                            if col_ts:
+                                # Emission order: matches staged so far go
+                                # out ahead of this punctuation.
+                                staged.append(ColumnarBlock(
+                                    col_ts, col_seq, col_kind, col_arrival,
+                                    col_payloads))
+                                col_ts, col_seq, col_kind = [], [], []
+                                col_arrival, col_payloads = [], []
+                                cts_append = col_ts.append
+                                cseq_append = col_seq.append
+                                ckind_append = col_kind.append
+                                carr_append = col_arrival.append
+                                cpay_append = col_payloads.append
+                            stage(Punctuation(ts=tau, origin=self.name))
+                            self._last_emitted_ts = tau
+                            self.punctuation_forwarded += 1
+                            run_punct += 1
+                if col_ts:
+                    staged.append(ColumnarBlock(
+                        col_ts, col_seq, col_kind, col_arrival,
+                        col_payloads))
+                batch.steps += n
+                batch.consumed_data += n
+                batch.probes += run_probes
+                batch.probes_emitted += run_emitted
+                batch.emitted_data += run_emitted
+                batch.emitted_punctuation += run_punct
+                own_window.insert_run(rows)
+                continue
+            if punct_idx is not None:
+                # Punctuation handling emits directly; staged data must be
+                # pushed first to preserve emission order.
+                self._flush_staged(staged)
+                element = inputs[punct_idx].pop()
+                batch.add_step(self._handle_punctuation(element))
+                break  # punctuation is a batch boundary
+            break  # no head at tau: more() is false
+        self._flush_staged(staged)
+        return batch
+
+    def _flush_staged(
+            self, staged: list[StreamElement | ColumnarBlock]) -> None:
+        """Push staged emissions, packing maximal ordered data runs as
+        columnar blocks.  Pre-built blocks (the block path stages match
+        columns directly) are forwarded as-is; punctuation (and any
+        out-of-order boundary, which the buffer's order check must see
+        exactly as the scalar push sequence would) flushes as scalar
+        elements."""
+        if not staged:
+            return
+        outputs = self.outputs
+        i, n = 0, len(staged)
+        while i < n:
+            element = staged[i]
+            if isinstance(element, ColumnarBlock):
+                for out in outputs:
+                    out.push_block(element)
+                i += 1
+            elif isinstance(element, DataTuple):
+                j = i + 1
+                while (j < n and isinstance(staged[j], DataTuple)
+                       and staged[j].ts >= staged[j - 1].ts):
+                    j += 1
+                if j - i > 1:
+                    block = ColumnarBlock.from_tuples(staged[i:j])
+                    for out in outputs:
+                        out.push_block(block)
+                else:
+                    for out in outputs:
+                        out.push(element)
+                i = j
+            else:
+                for out in outputs:
+                    out.push(element)
+                i += 1
+        staged.clear()
 
     def _handle_punctuation(self, punct) -> StepResult:
         self.punctuation_consumed += 1

@@ -37,7 +37,7 @@ class Union(Operator):
 
     is_iwp = True
     arity: int | None = None  # n-ary
-    supports_blocks = True  # relaxed mode only; strict falls back (below)
+    supports_blocks = True  # both modes: relaxed sub-gate runs, strict merge
 
     def __init__(self, name: str, *, strict: bool = False, output_schema=None) -> None:
         super().__init__(name, output_schema=output_schema)
@@ -276,11 +276,11 @@ class Union(Operator):
         punctuation fall back to the exact scalar selection (popping through
         the buffer, which explodes a head block lazily when needed), so
         cross-input ordering and punctuation dedup are byte-identical.
-        Strict mode has no sub-gate runs to amortize and simply loops the
-        scalar step.
+        Strict mode routes through :meth:`_execute_block_strict`, which
+        amortizes over head-to-head runs instead of sub-gate runs.
         """
         if self.strict:
-            return Operator.execute_batch(self, ctx, limit)
+            return self._execute_block_strict(ctx, limit)
         batch = BatchResult()
         staged: list[StreamElement | ColumnarBlock] = []
         inputs = self.inputs
@@ -353,6 +353,111 @@ class Union(Operator):
                     self.punctuation_suppressed += 1
                 break  # punctuation is a batch boundary
             break  # no head at tau: more() is false
+        for entry in staged:
+            if isinstance(entry, ColumnarBlock):
+                for out in self.outputs:
+                    out.push_block(entry)
+            else:
+                for out in self.outputs:
+                    out.push(entry)
+        return batch
+
+    def _execute_block_strict(self, ctx: OpContext, limit: int) -> BatchResult:
+        """Columnar strict merge: emit maximal runs between interleave points.
+
+        The strict rule proceeds only while every input is nonempty and
+        always consumes the smallest head timestamp (ties broken by input
+        index).  While the chosen input's head run stays *strictly* below
+        every other input's head timestamp, the scalar path would pick that
+        input on every iteration — so the run up to the interleave boundary
+        is drained as one zero-copy block slice.  Ties at the boundary are
+        popped one element at a time (the scalar ``min((ts, i))`` decides),
+        and punctuation stays a scalar-consumed batch boundary, so the merge
+        is byte-identical to the scalar engine.
+        """
+        batch = BatchResult()
+        staged: list[StreamElement | ColumnarBlock] = []
+        inputs = self.inputs
+        n_inputs = len(inputs)
+        # Head timestamps are cached across iterations: only the input just
+        # consumed from can change its head, so only that slot is refreshed.
+        # head_ts() is side-effect free, and nothing pushes into our inputs
+        # while we execute, so the cache cannot go stale mid-invocation.
+        heads = [buf.head_ts() for buf in inputs]
+        steps = data_fwd = 0
+        INF = float("inf")
+        while steps < limit:
+            # Latent heads jump the queue (they carry no timestamp yet).
+            idx = -1
+            for i in range(n_inputs):
+                if heads[i] == LATENT_TS:
+                    idx = i
+                    break
+            if idx >= 0:
+                buf = inputs[idx]
+                staged.append(buf.pop())
+                data_fwd += 1
+                steps += 1
+                heads[idx] = buf.head_ts()
+                continue
+            # Strict: every input must be nonempty; find the smallest head
+            # (first index wins ties, matching the scalar ``min((ts, i))``)
+            # and the smallest *other* head in one two-minimum scan.
+            ts = bound = INF
+            for i in range(n_inputs):
+                h = heads[i]
+                if h is None:
+                    idx = -1
+                    break
+                if idx < 0 or h < ts:
+                    bound = ts
+                    ts = h
+                    idx = i
+                elif h < bound:
+                    bound = h
+            if idx < 0:
+                break  # some input is empty
+            buf = inputs[idx]
+            if buf.head_is_punctuation():
+                element = buf.pop()
+                self.punctuation_consumed += 1
+                steps += 1
+                batch.consumed_punctuation += 1
+                tau = element.ts
+                if tau > self._last_emitted_ts:
+                    staged.append(Punctuation(
+                        ts=tau, origin=self.name,
+                        periodic=getattr(element, "periodic", False)))
+                    self._last_emitted_ts = tau
+                    self.punctuation_forwarded += 1
+                    batch.emitted_punctuation += 1
+                else:
+                    self.punctuation_suppressed += 1
+                break  # punctuation is a batch boundary
+            if ts < bound:
+                blk = buf.drain_block(limit - steps, max_ts=bound)
+                assert blk is not None  # head is data below bound
+                staged.append(blk)
+                last = blk.last_ts()
+                if last != LATENT_TS and last > self._last_emitted_ts:
+                    self._last_emitted_ts = last
+                n = blk.count
+            else:
+                # Head-to-head tie: consume exactly one element so the
+                # scalar (ts, input-index) tie-break decides each round.
+                element = buf.pop()
+                staged.append(element)
+                if element.ts != LATENT_TS \
+                        and element.ts > self._last_emitted_ts:
+                    self._last_emitted_ts = element.ts
+                n = 1
+            data_fwd += n
+            steps += n
+            heads[idx] = buf.head_ts()
+        self.data_forwarded += data_fwd
+        batch.steps = steps
+        batch.consumed_data = data_fwd
+        batch.emitted_data = data_fwd
         for entry in staged:
             if isinstance(entry, ColumnarBlock):
                 for out in self.outputs:

@@ -80,6 +80,8 @@ class WindowProtocol(Protocol):
 
     def insert(self, tup: DataTuple) -> None: ...
 
+    def insert_run(self, tuples: Iterable[DataTuple]) -> None: ...
+
     def expire(self, now: float) -> int: ...
 
     def matches(self, probe_ts: float) -> Iterator[DataTuple]: ...
@@ -155,6 +157,26 @@ class TimeWindow:
             )
         self._items.append(tup)
 
+    def insert_run(self, tuples: Iterable[DataTuple]) -> None:
+        """Bulk insert: equivalent to ``expire(t.ts); insert(t)`` per tuple.
+
+        The per-tuple interleaving matters — a run longer than the span
+        must expire its own early tuples exactly as sequential insertion
+        would — so the loop replays it, with the attribute lookups hoisted.
+        """
+        items = self._items
+        span = self.span
+        for tup in tuples:
+            horizon = tup.ts - span
+            while items and items[0].ts < horizon:
+                items.popleft()
+            if items and tup.ts < items[-1].ts:
+                raise ReproError(
+                    f"window insert out of order: {tup.ts} after "
+                    f"{items[-1].ts}"
+                )
+            items.append(tup)
+
     def expire(self, now: float) -> int:
         """Drop tuples with ``ts < now - span``; return how many were dropped."""
         horizon = now - self.span
@@ -213,6 +235,11 @@ class CountWindow:
     def insert(self, tup: DataTuple) -> None:
         """Append ``tup``, evicting the oldest tuple when full."""
         self._items.append(tup)
+
+    def insert_run(self, tuples: Iterable[DataTuple]) -> None:
+        """Bulk insert: the bounded deque evicts exactly as per-tuple
+        insertion would, so this is one C-level extend."""
+        self._items.extend(tuples)
 
     def expire(self, now: float) -> int:
         """Count windows expire by insertion, so this is a no-op."""
@@ -323,6 +350,49 @@ class IndexedTimeWindow:
                 self._sweep()
         return dropped
 
+    def insert_run(self, tuples: Iterable[DataTuple]) -> None:
+        """Bulk insert: equivalent to ``expire(t.ts); insert(t)`` per tuple.
+
+        Fast path: when even the run's final horizon cannot drop the oldest
+        live tuple, no expiry can occur anywhere in the run — the horizon is
+        advanced once and the rows are appended straight into the log and
+        their buckets (``_stale`` untouched, so backstop-sweep timing is
+        identical by construction).  Otherwise the per-tuple interleaving is
+        replayed exactly: a run longer than the span must expire its own
+        early tuples, and sweep thresholds depend on per-step drop counts.
+        """
+        if not isinstance(tuples, list):
+            tuples = list(tuples)
+        if not tuples:
+            return
+        items = self._items
+        horizon = tuples[-1].ts - self.span
+        head_ts = items[0].ts if items else tuples[0].ts
+        if head_ts >= horizon:
+            if horizon > self._horizon:
+                self._horizon = horizon
+            prev = items[-1].ts if items else tuples[0].ts
+            key_fn = self.key_fn
+            buckets = self._buckets
+            for tup in tuples:
+                if tup.ts < prev:
+                    raise ReproError(
+                        f"window insert out of order: {tup.ts} after {prev}"
+                    )
+                prev = tup.ts
+                items.append(tup)
+                key = _hash_key(key_fn(tup.payload), "IndexedTimeWindow")
+                if key == key:  # NaN keys never match anything (scan parity)
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        bucket = buckets[key] = deque()
+                    bucket.append(tup)
+            return
+        expire, insert = self.expire, self.insert
+        for tup in tuples:
+            expire(tup.ts)
+            insert(tup)
+
     def _sweep(self) -> None:
         """Purge every bucket against the horizon (the backstop of the
         module docstring's amortization scheme, for never-probed buckets)."""
@@ -431,6 +501,14 @@ class IndexedCountWindow:
             bucket.append((self._inserted, tup))
         if self._inserted - self._swept_at >= max(64, self.size):
             self._sweep()
+
+    def insert_run(self, tuples: Iterable[DataTuple]) -> None:
+        """Bulk insert: replays per-tuple insertion (expiry is by count and
+        the backstop sweep fires at exact insertion numbers, so there is no
+        batched shortcut that stays bit-identical)."""
+        insert = self.insert
+        for tup in tuples:
+            insert(tup)
 
     def _sweep(self) -> None:
         """Purge every bucket of globally evicted entries (the backstop of

@@ -79,6 +79,19 @@ class Counter(_Metric):
         key = _labels_key(labels)
         self._values[key] = self._values.get(key, 0) + amount
 
+    def set_total(self, value: float, **labels) -> None:
+        """Absolute assignment for absorbed end-of-run totals.
+
+        A counter fed from an aggregate snapshot would double on every
+        re-absorb under :meth:`inc`; assignment keeps repeated absorbs
+        idempotent, and monotonicity is still enforced so the series
+        remains a valid Prometheus counter.
+        """
+        key = _labels_key(labels)
+        if value < self._values.get(key, 0):
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._values[key] = value
+
     def value(self, **labels) -> float:
         return self._values.get(_labels_key(labels), 0)
 
@@ -272,6 +285,9 @@ class MetricsRegistry(Observer):
             "repro_feedback_drop_budget",
             "Drop budget carried by the last wave", track_max=True)
         # Absorbed end-of-run aggregates.
+        self.block_fallbacks = c(
+            "repro_engine_block_fallbacks_total",
+            "Block-mode steps routed through the scalar path, per operator")
         self.idle_wait = g("repro_idle_wait_seconds",
                            "Idle-waiting time per IWP operator")
         self.idle_fraction = g("repro_idle_wait_fraction",
@@ -438,6 +454,12 @@ class MetricsRegistry(Observer):
                 for op, steps in value.items():
                     self.engine_stat.set(steps, field="per_operator_steps",
                                          operator=op)
+            elif field_name == "block_fallbacks_by_operator":
+                # Per-operator attribution of scalar fallbacks; absent from
+                # the exposition until a fallback actually happens, so
+                # scalar- and pure-block runs keep their sample sets.
+                for op, count in value.items():
+                    self.block_fallbacks.set_total(count, operator=op)
             elif (field_name in ("blocks", "block_rows", "block_fallbacks")
                     and not value):
                 continue

@@ -8,9 +8,16 @@ Three layers of coverage:
   both the numpy-backed and the pure-Python column layouts.
 * **Differential identity** — block-mode output is byte-identical to
   batched and scalar execution across ETS modes × batch widths on graphs
-  covering every vectorized operator (Select with both predicate forms,
-  Project, Map, FlatMap, Shed, relaxed Union, TumblingAggregate) *and*
-  the fallback operators (join, reorder, strict union).
+  covering every vectorized operator: the stateless set (Select with both
+  predicate forms, Project, Map, FlatMap, Shed, TumblingAggregate) *and*
+  the stateful hot path (WindowJoin, Reorder, both Union modes) —
+  including tie-laden, NaN-keyed, and out-of-order feeds, plus a
+  Hypothesis sweep over random disorder schedules.  The only remaining
+  scalar fallbacks are the strict (X1-ablation) join and the
+  ``late="error"`` reorder, which are asserted to be *attributed* in
+  ``EngineStats.block_fallbacks_by_operator``; the full paper-style plan
+  (Reorder → WindowJoin → strict Union) is asserted to run with **zero**
+  block fallbacks.
 * **Stats plumbing** — block counters move only in block mode, and
   pre-columnar engine snapshots still restore.
 """
@@ -42,13 +49,14 @@ from repro.core.operators import (
     FlatMap,
     Map,
     Project,
+    Reorder,
     Select,
     Shed,
     TumblingAggregate,
     Union,
     WindowJoin,
 )
-from repro.core.tuples import LATENT_TS, DataTuple
+from repro.core.tuples import LATENT_TS, DataTuple, TimestampKind
 from repro.core.windows import WindowSpec
 
 LAYOUTS = ["python"] + (["numpy"] if numpy_available() else [])
@@ -200,9 +208,9 @@ def stateless_rich_build() -> QueryGraph:
     return g
 
 
-def join_fallback_build() -> QueryGraph:
-    """Stateful window join: block mode must fall back to the scalar path."""
-    g = QueryGraph("columnar-join-fallback")
+def join_build() -> QueryGraph:
+    """Stateful window join: vectorized via the block-probe path."""
+    g = QueryGraph("columnar-join")
     left = g.add_source("a")
     right = g.add_source("b")
     join = g.add(WindowJoin("join", WindowSpec.time(3.0), key="k"))
@@ -213,9 +221,25 @@ def join_fallback_build() -> QueryGraph:
     return g
 
 
-def strict_union_fallback_build() -> QueryGraph:
-    """Strict Fig.-1 union: ETS-sensitive, so blocks fall back."""
-    g = QueryGraph("columnar-strict-fallback")
+def strict_join_build() -> QueryGraph:
+    """Strict (X1-ablation) join: the remaining scalar fallback — its
+    both-inputs-nonempty gate can flip on every consumption, so block
+    mode must route it through ``execute_batch`` and attribute it."""
+    g = QueryGraph("columnar-strict-join")
+    left = g.add_source("a")
+    right = g.add_source("b")
+    join = g.add(WindowJoin("join", WindowSpec.time(3.0), key="k",
+                            strict=True))
+    sink = g.add_sink("out")
+    g.connect(left, join)
+    g.connect(right, join)
+    g.connect(join, sink)
+    return g
+
+
+def strict_union_build() -> QueryGraph:
+    """Strict Fig.-1 union: vectorized via the run-merge block path."""
+    g = QueryGraph("columnar-strict-union")
     a = g.add_source("a")
     b = g.add_source("b")
     strict = g.add(Union("strict", strict=True))
@@ -226,8 +250,64 @@ def strict_union_fallback_build() -> QueryGraph:
     return g
 
 
+def reorder_build(late: str = "drop") -> QueryGraph:
+    """Out-of-order external source restored by a vectorized Reorder."""
+    g = QueryGraph("columnar-reorder")
+    src = g.add_source("a", TimestampKind.EXTERNAL, out_of_order=True)
+    reorder = g.add(Reorder("reorder", 1.0, late=late))
+    sink = g.add_sink("out")
+    g.connect(src, reorder)
+    g.connect(reorder, sink)
+    return g
+
+
+def stateful_plan_build() -> QueryGraph:
+    """The paper-style stateful plan, fully vectorized.
+
+    An out-of-order external stream is restored by Reorder, window-joined
+    against an ordered stream, and the matches are strictly merged with a
+    third stream — WindowJoin, Reorder, and strict Union all on their
+    block paths, so the whole plan runs with zero block fallbacks.
+    """
+    g = QueryGraph("columnar-stateful-plan")
+    a = g.add_source("a", TimestampKind.EXTERNAL, out_of_order=True)
+    b = g.add_source("b")
+    c = g.add_source("c")
+    reorder = g.add(Reorder("reorder", 1.0))
+    join = g.add(WindowJoin("join", WindowSpec.time(3.0), key="k"))
+    strict = g.add(Union("strict", strict=True))
+    sink = g.add_sink("out")
+    g.connect(a, reorder)
+    g.connect(reorder, join)
+    g.connect(b, join)
+    g.connect(join, strict)
+    g.connect(c, strict)
+    g.connect(strict, sink)
+    return g
+
+
+def diamond_build() -> QueryGraph:
+    """A source fanning out to two arms of one union, one arm starved.
+
+    ``starve`` drops every tuple, so the union's first input stays empty
+    and gated while the direct arc fills — the topology whose
+    Forward/Backtrack cycle used to spin the engine walk forever instead
+    of reaching the dead-end ETS consultation.
+    """
+    g = QueryGraph("columnar-diamond")
+    src = g.add_source("a")
+    starve = g.add(Select("starve", lambda p: False))
+    union = g.add(Union("merge"))
+    sink = g.add_sink("out")
+    g.connect(src, starve)
+    g.connect(starve, union)
+    g.connect(src, union)
+    g.connect(union, sink)
+    return g
+
+
 def make_feeds(n: int = 400, sources=("a", "b"), *,
-               ties: bool = False) -> list[Feed]:
+               ties: bool = False, nan_keys: bool = False) -> list[Feed]:
     """Deterministic bursty schedule.
 
     With ``ties=False`` every arrival gets a distinct instant, so sink
@@ -235,15 +315,38 @@ def make_feeds(n: int = 400, sources=("a", "b"), *,
     well-defined.  ``ties=True`` adds cross-source equal timestamps,
     whose interleaving legitimately depends on batch width — those runs
     are compared canonically (sorted), matching the repo's property
-    suite.
+    suite.  ``nan_keys=True`` replaces every fifth join key with a fresh
+    ``float("nan")`` — rows the indexed join must bucket but never match
+    (NaN ≠ NaN) and the scan join must reject, identically on both paths.
     """
     rng = random.Random(77)
     feeds, t = [], 0.0
     gaps = (0.0, 0.0, 0.01, 0.05, 0.4) if ties else (0.01, 0.03, 0.05, 0.4)
     for i in range(n):
         t += rng.choice(gaps)
+        key = float("nan") if (nan_keys and i % 5 == 0) else i % 4
         feeds.append(Feed(source=rng.choice(sources), time=t,
-                          payload={"v": i % 11, "k": i % 4, "uid": i}))
+                          payload={"v": i % 11, "k": key, "uid": i}))
+    return feeds
+
+
+def make_ooo_feeds(n: int = 400, sources=("a", "b", "c"), *,
+                   disorder: float = 0.8, seed: int = 123) -> list[Feed]:
+    """Bursty schedule whose ``"a"`` stream is externally timestamped and
+    bounded-disordered: each ``a`` arrival carries ``external_ts`` jittered
+    up to ``disorder`` seconds behind its arrival instant, so a downstream
+    Reorder genuinely parks, sorts, and late-drops.  Other sources stay
+    internally stamped (arrival order), giving the join and union ordered
+    competing inputs."""
+    rng = random.Random(seed)
+    feeds, t = [], 0.0
+    for i in range(n):
+        t += rng.choice((0.01, 0.03, 0.05, 0.4))
+        src = rng.choice(sources)
+        ets = t - rng.random() * disorder if src == "a" else None
+        feeds.append(Feed(source=src, time=t,
+                          payload={"v": i % 11, "k": i % 4, "uid": i},
+                          external_ts=ets))
     return feeds
 
 
@@ -267,13 +370,50 @@ class TestBlockDifferential:
                                ets_policy=ets_factory())
             assert block == batched, f"batch_size={size}"
 
-    @pytest.mark.parametrize("build", [join_fallback_build,
-                                       strict_union_fallback_build])
+    @pytest.mark.parametrize("build", [join_build, strict_union_build,
+                                       strict_join_build])
     @pytest.mark.parametrize("ets_factory", ETS_FACTORIES)
-    def test_fallback_graph_block_equals_scalar(self, layout, ets_factory,
+    def test_stateful_graph_block_equals_scalar(self, layout, ets_factory,
                                                 build):
+        """Vectorized join and strict union — plus the strict-join
+        fallback configuration — are byte-identical to scalar."""
         oracle = DifferentialOracle(build, make_feeds(),
                                     chunk=8, punctuate_every=4)
+        oracle.assert_block_equals_scalar(ets_policy_factory=ets_factory)
+
+    @pytest.mark.parametrize("ets_factory", ETS_FACTORIES)
+    def test_reorder_block_equals_scalar(self, layout, ets_factory):
+        """The columnar Reorder replays scalar flush/park/late decisions
+        exactly on a genuinely disordered external stream."""
+        oracle = DifferentialOracle(
+            reorder_build, make_ooo_feeds(sources=("a",)), chunk=8)
+        oracle.assert_block_equals_scalar(ets_policy_factory=ets_factory)
+
+    @pytest.mark.parametrize("ets_factory", ETS_FACTORIES)
+    def test_stateful_plan_block_equals_scalar(self, layout, ets_factory):
+        """The full paper-style plan (Reorder → WindowJoin → strict
+        Union) is byte-identical to scalar under every ETS mode."""
+        oracle = DifferentialOracle(stateful_plan_build, make_ooo_feeds(),
+                                    chunk=8)
+        oracle.assert_block_equals_scalar(ets_policy_factory=ets_factory)
+
+    @pytest.mark.parametrize("build", [join_build, stateful_plan_build])
+    @pytest.mark.parametrize("ets_factory", ETS_FACTORIES)
+    def test_nan_key_feeds_block_equals_scalar(self, layout, ets_factory,
+                                               build):
+        """NaN join keys (bucketed but never matching) take identical
+        scan/indexed decisions on the scalar and block-probe paths."""
+        feeds = (make_feeds(nan_keys=True) if build is join_build
+                 else make_ooo_feeds())
+        if build is not join_build:
+            feeds = [Feed(source=f.source, time=f.time,
+                          payload={**f.payload,
+                                   "k": float("nan") if f.payload["uid"] % 5 == 0
+                                   else f.payload["k"]},
+                          external_ts=f.external_ts) for f in feeds]
+        oracle = DifferentialOracle(build, feeds, chunk=8,
+                                    punctuate_every=4 if build is join_build
+                                    else None)
         oracle.assert_block_equals_scalar(ets_policy_factory=ets_factory)
 
     @pytest.mark.parametrize("ets_factory", ETS_FACTORIES)
@@ -285,9 +425,72 @@ class TestBlockDifferential:
         oracle.assert_block_equals_scalar(ets_policy_factory=ets_factory,
                                           canonical=True)
 
+    @pytest.mark.parametrize("ets_factory", ETS_FACTORIES)
+    def test_tie_laden_join_canonical_identity(self, layout, ets_factory):
+        """Equal timestamps across the join's inputs: batching changes
+        which interleaving is picked, never the delivered multiset."""
+        oracle = DifferentialOracle(join_build, make_feeds(ties=True),
+                                    chunk=8, punctuate_every=4)
+        oracle.assert_block_equals_scalar(ets_policy_factory=ets_factory,
+                                          canonical=True)
+
+    @pytest.mark.parametrize("ets_factory", ETS_FACTORIES)
+    def test_diamond_block_equals_scalar(self, layout, ets_factory):
+        """Regression: the starved-arm diamond terminates (the walk used
+        to Forward/Backtrack forever) and delivers identically."""
+        oracle = DifferentialOracle(diamond_build,
+                                    make_feeds(sources=("a",)),
+                                    chunk=8, punctuate_every=4)
+        oracle.assert_block_equals_scalar(ets_policy_factory=ets_factory)
+
+
+@given(plan=st.lists(
+    st.tuples(st.sampled_from([0.01, 0.05, 0.4]),   # inter-arrival gap
+              st.integers(0, 2),                    # source index
+              st.floats(0.0, 1.5, allow_nan=False)),  # "a" disorder jitter
+    min_size=10, max_size=60))
+@settings(max_examples=25, deadline=None)
+def test_stateful_plan_random_disorder_property(plan):
+    """Hypothesis: for random bursty schedules with random bounded
+    disorder on the external stream — including jitter beyond the
+    reorder's slack, which forces late-drops — the block-mode paper plan
+    delivers the same multiset as the scalar engine.  Comparison is
+    canonical because Hypothesis can mint cross-input timestamp ties,
+    whose interleaving legitimately depends on batch width."""
+    names = ("a", "b", "c")
+    feeds, t = [], 0.0
+    for i, (gap, src_i, jitter) in enumerate(plan):
+        t += gap
+        src = names[src_i]
+        feeds.append(Feed(
+            source=src, time=t,
+            payload={"v": i % 11, "k": i % 4, "uid": i},
+            external_ts=t - jitter if src == "a" else None))
+    oracle = DifferentialOracle(stateful_plan_build, feeds, chunk=4)
+    oracle.assert_block_equals_scalar(batch_sizes=(3, 8),
+                                      canonical=True)
+
 
 # --------------------------------------------------------------------- #
 # Stats plumbing
+
+
+def _drive_engine(graph, feeds, *, block_mode=True, chunk=8):
+    """Chunked replay of ``feeds`` through a fresh engine (the oracle's
+    drive, minus the sink capture), returning the engine for its stats."""
+    from repro.core.execution import ExecutionEngine
+    from repro.sim.clock import VirtualClock
+
+    engine = ExecutionEngine(graph, VirtualClock(), cost_model=None,
+                             ets_policy=OnDemandEts(), batch_size=8,
+                             block_mode=block_mode)
+    for i, f in enumerate(feeds, 1):
+        engine.clock.advance_to(f.time)
+        graph[f.source].ingest(f.payload, now=f.time, ts=f.external_ts)
+        if i % chunk == 0:
+            engine.wakeup(graph[f.source])
+    engine.wakeup()
+    return engine
 
 
 class TestBlockStats:
@@ -310,6 +513,49 @@ class TestBlockStats:
         assert seen[False].block_rows == 0
         assert seen[True].blocks > 0
         assert seen[True].block_rows > 0
+
+    def test_stateful_plan_zero_block_fallbacks(self, layout):
+        """The tentpole claim: the full paper-style plan — Reorder,
+        WindowJoin, strict Union, sink — runs entirely on the block path."""
+        engine = _drive_engine(stateful_plan_build(), make_ooo_feeds(300))
+        assert engine.stats.blocks > 0
+        assert engine.stats.block_rows > 0
+        assert engine.stats.block_fallbacks == 0
+        assert engine.stats.block_fallbacks_by_operator == {}
+
+    def test_strict_join_fallback_attributed(self):
+        """The strict (X1) join is the documented scalar fallback, and
+        every fallback step is attributed to it by name."""
+        engine = _drive_engine(strict_join_build(), make_feeds(200))
+        stats = engine.stats
+        assert stats.block_fallbacks > 0
+        assert set(stats.block_fallbacks_by_operator) == {"join"}
+        assert (stats.block_fallbacks_by_operator["join"]
+                == stats.block_fallbacks)
+
+    def test_error_policy_reorder_fallback_attributed(self):
+        """``late="error"`` must stop at the exact offending tuple, so it
+        stays scalar — and shows up in the per-operator attribution."""
+        feeds = make_ooo_feeds(200, sources=("a",), disorder=0.5)
+        engine = _drive_engine(reorder_build(late="error"), feeds)
+        stats = engine.stats
+        assert stats.block_fallbacks > 0
+        assert set(stats.block_fallbacks_by_operator) == {"reorder"}
+
+    def test_fallback_counter_reaches_metrics_registry(self):
+        """EngineStats attribution surfaces as the labelled Prometheus
+        counter ``repro_engine_block_fallbacks_total`` (the series CLI
+        users see via ``python -m repro metrics``)."""
+        from repro.obs.registry import MetricsRegistry
+
+        engine = _drive_engine(strict_join_build(), make_feeds(120))
+        registry = MetricsRegistry()
+        registry.absorb_engine_stats(engine.stats)
+        registry.absorb_engine_stats(engine.stats)  # absorb is idempotent
+        text = registry.render_prometheus()
+        want = ('repro_engine_block_fallbacks_total{operator="join"} '
+                f'{engine.stats.block_fallbacks}')
+        assert want in text
 
     def test_restore_from_pre_columnar_snapshot(self):
         stats = EngineStats()

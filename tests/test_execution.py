@@ -254,3 +254,72 @@ class TestGraphAutoValidation:
         g.add_source("src")  # dangling source: invalid
         with pytest.raises(Exception):
             ExecutionEngine(g, VirtualClock())
+
+
+class TestDiamondTopology:
+    """Regression: a source fanning out to two arms of one union.
+
+    When one arm is starved (its filter drops everything), the union
+    idle-waits gated on that arm and the NOS walk used to chase Forward
+    (source → full direct arc) and Backtrack (union → starved arc →
+    source) in a cycle forever — in every engine mode, scalar included.
+    The dead-operator set in ``ExecutionEngine._walk`` breaks the cycle:
+    re-reaching an operator that could not execute in an unchanged buffer
+    state is a dead end, so a stalled source falls through to the ETS
+    consultation instead of re-forwarding.
+    """
+
+    def make(self):
+        g = QueryGraph("diamond")
+        src = g.add_source("src")
+        starve = g.add(Select("starve", lambda p: False))
+        u = g.add(Union("u"))
+        sink = g.add_sink("sink", keep_outputs=True)
+        g.connect(src, starve)
+        g.connect(starve, u)
+        g.connect(src, u)
+        g.connect(u, sink)
+        return g, src, u, sink
+
+    def test_walk_terminates_without_ets(self):
+        # Pre-fix this wakeup never returned; with NoEts the walk must
+        # quiesce with the direct arm still gated on the starved arm.
+        g, src, u, sink = self.make()
+        engine, clock = make_engine(g, policy=NoEts())
+        for i in range(3):
+            clock.advance_to(float(i))
+            src.ingest({"v": i}, now=float(i))
+        engine.wakeup(entry=src)
+        assert sink.delivered == 0
+        assert u.inputs[1].data_count == 3  # parked, not lost
+
+    def test_on_demand_ets_unblocks_starved_arm(self):
+        g, src, u, sink = self.make()
+        engine, clock = make_engine(g, policy=OnDemandEts())
+        for i in range(3):
+            clock.advance_to(float(i))
+            src.ingest({"v": i}, now=float(i))
+            engine.wakeup(entry=src)
+        # Once the clock moves past the stream frontier, the dead-end
+        # reaches _try_ets: punctuation rides down the starved arc, lifts
+        # the union's gate, and the whole backlog drains.
+        clock.advance_to(3.0)
+        engine.wakeup()
+        assert engine.stats.ets_injected > 0
+        assert sink.delivered == 3
+
+    @pytest.mark.parametrize("mode", ["scalar", "batched", "block"])
+    def test_terminates_in_every_engine_mode(self, mode):
+        g, src, u, sink = self.make()
+        engine, clock = make_engine(
+            g, policy=OnDemandEts(),
+            batch_size=8 if mode != "scalar" else 1,
+            block_mode=(mode == "block"))
+        for i in range(20):
+            clock.advance_to(float(i))
+            src.ingest({"v": i}, now=float(i))
+            if i % 4 == 3:
+                engine.wakeup(entry=src)
+        clock.advance_to(20.0)
+        engine.wakeup()
+        assert sink.delivered == 20
