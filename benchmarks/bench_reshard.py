@@ -1,0 +1,159 @@
+"""Bench X10: live-reshard cost — pause and throughput dip vs keys moved.
+
+Not a paper artefact — this measures the elastic layer's migration cost.
+Each transition P→P′ runs the keyed scan-join workload twice on the
+serial backend: once static at P (the baseline) and once with a single
+live reshard to P′ at the half-way chunk boundary.  Three figures land
+per transition:
+
+* **pause_ms** — the coordinator's stop-the-world window (quiesce →
+  align → snapshot → replay-restore → flip), straight from the
+  :class:`ReshardReport`;
+* **migrated_fraction** — keys whose route changed under the new
+  jump-consistent partitioner, over keys seen (grows P→P+1 moves ~1/P′;
+  the hard shrink 4→2 moves half);
+* **throughput_dip** — whole-run wall-time overhead vs the static
+  baseline, the amortized cost a production stream would see.
+
+Every resharded run must stay canonically identical to its baseline —
+the differential guarantee the elastic suite proves, re-checked on the
+measured runs.  Results merge into ``BENCH_reshard.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.core.graph import QueryGraph
+from repro.core.operators import WindowJoin
+from repro.core.windows import WindowSpec
+from repro.shard import ElasticShardedEngine
+
+from record import record_bench
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+TUPLES_PER_SIDE = 400 if SMOKE else 1_200
+PERIOD = 0.01
+SPAN = 4.0
+CHUNK = 64
+CARDINALITY = 256
+TRANSITIONS = ((2, 3), (4, 5), (4, 2))
+REPEATS = 1 if SMOKE else 3
+
+
+def build() -> QueryGraph:
+    graph = QueryGraph("bench-reshard")
+    fast = graph.add_source("fast")
+    slow = graph.add_source("slow")
+    join = graph.add(WindowJoin("join", WindowSpec.time(SPAN), key="k",
+                                indexed=False))
+    sink = graph.add_sink("sink")
+    graph.connect(fast, join)
+    graph.connect(slow, join)
+    graph.connect(join, sink)
+    return graph
+
+
+def make_feeds() -> list[tuple[str, float, dict]]:
+    rng = random.Random(2203)
+    feeds = []
+    for i in range(TUPLES_PER_SIDE):
+        base = i * PERIOD
+        feeds.append(("fast", base,
+                      {"seq": i, "k": rng.randrange(CARDINALITY),
+                       "value": rng.random()}))
+        feeds.append(("slow", base + PERIOD / 2,
+                      {"seq": i, "k": rng.randrange(CARDINALITY),
+                       "value": rng.random()}))
+    feeds.sort(key=lambda f: f[1])
+    return feeds
+
+
+def drive(feeds, *, shards: int, reshard_to: int | None):
+    """One run; returns (wall_s, canonical deliveries, ReshardReport|None)."""
+    engine = ElasticShardedEngine(build, shards=shards, key="k",
+                                  backend="serial")
+    midpoint = (len(feeds) // 2) // CHUNK * CHUNK
+    released = []
+    report = None
+    start = time.perf_counter()
+    try:
+        now = 0.0
+        for base in range(0, len(feeds), CHUNK):
+            if reshard_to is not None and base == midpoint:
+                report = engine.reshard(reshard_to, reason="bench")
+                released.extend(report.released)
+            for source, when, payload in feeds[base:base + CHUNK]:
+                engine.ingest(source, payload, time=when)
+                now = when
+            released.extend(engine.wakeup())
+        for source in ("fast", "slow"):
+            engine.inject_punctuation(source, now + 1.0,
+                                      origin=f"bench-eos:{source}")
+        released.extend(engine.wakeup())
+    finally:
+        released.extend(engine.close(flush=True))
+    elapsed = time.perf_counter() - start
+    canonical = sorted((ts, sink, repr(payload))
+                       for ts, _, _, sink, payload in released)
+    return elapsed, canonical, report
+
+
+def best_of(feeds, *, shards: int, reshard_to: int | None):
+    wall, canonical, report = drive(feeds, shards=shards,
+                                    reshard_to=reshard_to)
+    for _ in range(REPEATS - 1):
+        again, _, rep = drive(feeds, shards=shards, reshard_to=reshard_to)
+        if again < wall:
+            wall, report = again, rep or report
+    return wall, canonical, report
+
+
+def test_reshard_pause_and_dip():
+    feeds = make_feeds()
+    total = len(feeds)
+    print(f"\nX10 — live-reshard cost "
+          f"({total:,} tuples{' [smoke]' if SMOKE else ''}):")
+    rows = []
+    for p, p_new in TRANSITIONS:
+        base_wall, reference, _ = best_of(feeds, shards=p, reshard_to=None)
+        wall, canonical, report = best_of(feeds, shards=p, reshard_to=p_new)
+        assert canonical == reference, (
+            f"reshard {p}->{p_new} diverged from the static P={p} run")
+        assert report is not None and report.new_shards == p_new
+        migrated = report.migrated_keys / max(1, report.total_keys)
+        dip = wall / base_wall - 1.0
+        rows.append({
+            "transition": f"{p}->{p_new}",
+            "pause_ms": round(report.pause_seconds * 1e3, 2),
+            "migrated_keys": report.migrated_keys,
+            "total_keys": report.total_keys,
+            "migrated_fraction": round(migrated, 3),
+            "replayed_ingests": report.replayed_ingests,
+            "base_wall_s": round(base_wall, 4),
+            "reshard_wall_s": round(wall, 4),
+            "throughput_dip": round(dip, 3),
+        })
+        print(f"  {p}->{p_new}: pause {report.pause_seconds * 1e3:7.1f} ms, "
+              f"{migrated:5.1%} keys moved, "
+              f"dip {dip:+.1%} ({base_wall * 1e3:.0f} -> {wall * 1e3:.0f} ms)")
+
+    # The grows should move roughly 1/P' of the keys; the hard shrink
+    # 4->2 must move strictly more than either grow.
+    by = {row["transition"]: row for row in rows}
+    assert 0.0 < by["2->3"]["migrated_fraction"] < 0.6
+    assert 0.0 < by["4->5"]["migrated_fraction"] < 0.5
+    assert by["4->2"]["migrated_fraction"] > by["4->5"]["migrated_fraction"]
+
+    record_bench(
+        "reshard", {"transitions": rows}, merge=True,
+        workload={"tuples_per_side": TUPLES_PER_SIDE, "period_s": PERIOD,
+                  "window_span_s": SPAN, "key_cardinality": CARDINALITY,
+                  "ingest_chunk": CHUNK, "smoke": SMOKE})
+
+
+if __name__ == "__main__":
+    test_reshard_pause_and_dip()

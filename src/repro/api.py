@@ -199,6 +199,9 @@ from .faults import (
     PunctuationDelay,
     PunctuationLoss,
     QuarantinePolicy,
+    ReshardCrash,
+    ShardCrash,
+    ShardHang,
     SimulatedCrash,
     SlowSink,
     SourceOutage,
@@ -229,10 +232,14 @@ from .core.columnar import (
     set_numpy,
 )
 from .shard import (
+    Autoscaler,
+    ElasticShardedEngine,
     FrontierMerge,
     FrontierTracker,
     HashPartitioner,
+    ReshardReport,
     ShardError,
+    ShardSupervisor,
     ShardTimeoutError,
     ShardedEngine,
     ShardedRecoveryReport,
@@ -306,8 +313,9 @@ __all__ = [
     "ClockSkewSpike", "DropTuples", "DuplicateTuples", "FallbackHeartbeat",
     "FaultPlan", "FaultSpec", "InvariantMonitor", "LoadSpike",
     "OutOfOrderBurst", "ProcessCrash", "PunctuationDelay",
-    "PunctuationLoss", "QuarantinePolicy", "SimulatedCrash", "SlowSink",
-    "SourceOutage", "StallDetector",
+    "PunctuationLoss", "QuarantinePolicy", "ReshardCrash", "ShardCrash",
+    "ShardHang", "SimulatedCrash", "SlowSink", "SourceOutage",
+    "StallDetector",
     # feedback (closed-loop backpressure)
     "FeedbackController", "TokenBucketThrottle", "propagate_feedback",
     # recovery
@@ -320,7 +328,8 @@ __all__ = [
     "ColumnarBlock", "FieldPredicate", "numpy_available", "numpy_enabled",
     "set_numpy",
     # sharding
-    "FrontierMerge", "FrontierTracker", "HashPartitioner", "ShardError",
-    "ShardTimeoutError", "ShardedEngine", "ShardedRecoveryReport",
-    "ShardedSimulation",
+    "Autoscaler", "ElasticShardedEngine", "FrontierMerge",
+    "FrontierTracker", "HashPartitioner", "ReshardReport", "ShardError",
+    "ShardSupervisor", "ShardTimeoutError", "ShardedEngine",
+    "ShardedRecoveryReport", "ShardedSimulation",
 ]

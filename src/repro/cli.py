@@ -35,6 +35,7 @@ from .api import (
     OnDemandEts,
     Pipeline,
     QueryGraph,
+    ElasticShardedEngine,
     ShardedEngine,
     TimestampKind,
     WindowJoin,
@@ -230,6 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the single-engine differential check")
     shard.add_argument("--timeout", type=float, default=60.0,
                        help="per-shard operation timeout in seconds")
+    shard.add_argument("--reshard", action="store_true",
+                       help="exercise live resharding: grow to P+1 a third "
+                            "of the way in, shrink back to P at two thirds, "
+                            "and verify the merged output still equals the "
+                            "single-engine run")
 
     def _add_obs_scenario_args(p: argparse.ArgumentParser,
                                default_duration: float) -> None:
@@ -485,14 +491,19 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     def policy():
         return OnDemandEts() if args.ets == "on-demand" else NoEts()
 
-    def drive(shards: int, backend: str, observers=None):
-        engine = ShardedEngine(
+    def drive(shards: int, backend: str, observers=None, reshards=None):
+        cls = ElasticShardedEngine if reshards else ShardedEngine
+        engine = cls(
             build, shards=shards, key="key", backend=backend,
             ets_policy_factory=policy, batch_size=args.batch_size,
             observers=observers, op_timeout=args.timeout)
+        schedule = dict(reshards or {})
         started = time.perf_counter()
         records = []
         for index, (source, t, payload, ts) in enumerate(feeds):
+            if index in schedule:
+                report = engine.reshard(schedule.pop(index), reason="cli")
+                records.extend(report.released)
             engine.ingest(source, payload, time=t, ts=ts)
             if (index + 1) % args.chunk == 0:
                 records.extend(engine.wakeup())
@@ -502,12 +513,21 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         records.extend(engine.wakeup())
         wall = time.perf_counter() - started
         summary = engine.summary()
+        reports = list(getattr(engine, "reshards", ()))
         records.extend(engine.close(flush=True))
-        return records, wall, summary
+        return records, wall, summary, reports
+
+    reshards = None
+    if args.reshard:
+        # Grow at the first chunk boundary past 1/3, shrink back at 2/3.
+        reshards = {int(len(feeds) * f) // args.chunk * args.chunk: target
+                    for f, target in ((1 / 3, args.shards + 1),
+                                      (2 / 3, args.shards))}
 
     registry = MetricsRegistry()
-    records, wall, summary = drive(args.shards, args.backend,
-                                   observers=[registry])
+    records, wall, summary, reports = drive(args.shards, args.backend,
+                                            observers=[registry],
+                                            reshards=reshards)
     print(f"sharded run: P={args.shards} backend={args.backend} "
           f"ets={args.ets} batch={args.batch_size}")
     print(f"  {args.tuples} tuples in {wall:.3f}s wall "
@@ -521,9 +541,14 @@ def _cmd_shard(args: argparse.Namespace) -> int:
               f"{row['delivered']:>10} {row['frontier']:>9.2f}")
     released = registry.shard_released.total
     print(f"  repro_shard_released_total {released:g}")
+    for report in reports:
+        print(f"  reshard {report.direction}: epoch {report.epoch}, "
+              f"{report.migrated_keys}/{report.total_keys} keys migrated, "
+              f"{report.replayed_ingests} ingests replayed, "
+              f"pause {report.pause_seconds * 1e3:.1f}ms")
     if args.no_verify:
         return 0
-    reference, ref_wall, _ = drive(1, "serial")
+    reference, ref_wall, _, _ = drive(1, "serial")
 
     def canonical(rows):
         return sorted((r[3], r[0], repr(r[4])) for r in rows)

@@ -29,6 +29,9 @@ from .plan import (
     ProcessCrash,
     PunctuationDelay,
     PunctuationLoss,
+    ReshardCrash,
+    ShardCrash,
+    ShardHang,
     SimulatedCrash,
     SlowSink,
     SourceOutage,
@@ -49,6 +52,9 @@ __all__ = [
     "PunctuationDelay",
     "PunctuationLoss",
     "QuarantinePolicy",
+    "ReshardCrash",
+    "ShardCrash",
+    "ShardHang",
     "SimulatedCrash",
     "SlowSink",
     "SourceOutage",

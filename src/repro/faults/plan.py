@@ -45,6 +45,9 @@ __all__ = [
     "ProcessCrash",
     "PunctuationDelay",
     "PunctuationLoss",
+    "ReshardCrash",
+    "ShardCrash",
+    "ShardHang",
     "SimulatedCrash",
     "SlowSink",
     "SourceOutage",
@@ -92,6 +95,9 @@ class FaultStats:
     crashes: int = 0
     spiked: int = 0
     slowed: int = 0
+    shard_crashes: int = 0
+    shard_hangs: int = 0
+    reshard_crashes: int = 0
 
     @property
     def data_lost(self) -> int:
@@ -124,6 +130,10 @@ class FaultSpec:
     def install(self, sim: Simulation, rng: random.Random,
                 stats: FaultStats) -> None:
         """Interpose on a built simulation (no-op by default)."""
+
+    def install_sharded(self, engine, rng: random.Random,
+                        stats: FaultStats) -> None:
+        """Arm a fault on a sharded engine facade (no-op by default)."""
 
 
 def _check_window(start: float, duration: float) -> None:
@@ -534,6 +544,132 @@ class PunctuationDelay(FaultSpec):
         source.inject_punctuation = faulted  # type: ignore[method-assign]
 
 
+#: Phase names of :data:`repro.shard.elastic.RESHARD_PHASES`, duplicated
+#: here (a literal, asserted equal in the test suite) so the fault layer
+#: never imports the shard layer.
+_RESHARD_PHASES = ("quiesce", "align", "snapshot", "restore",
+                   "reroute", "resume")
+
+
+def _check_shard_phase(phase: str) -> None:
+    if phase not in ("pre", "apply"):
+        raise WorkloadError(
+            f"shard fault phase must be 'pre' or 'apply', got {phase!r}")
+
+
+@dataclass(frozen=True)
+class ShardCrash(FaultSpec):
+    """One shard of a sharded engine raises mid-wake-up.
+
+    Armed through :meth:`ShardedEngine.inject_shard_fault`; the shard
+    raises a :class:`~repro.shard.backends.ShardError` at the first
+    wake-up whose drive time reaches ``at`` — before applying its
+    commands (``phase="pre"``) or after ingesting but before running the
+    engine (``phase="apply"``, the half-applied case the supervisor's
+    dedup ledger exists for).  ``shard=None`` picks the victim from the
+    plan's per-spec RNG; ``persistent`` re-arms after every supervisor
+    restart (the escalation path).
+    """
+
+    shard: int | None = None
+    at: float = 0.0
+    repeat: int = 1
+    phase: str = "pre"
+    persistent: bool = False
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        _check_shard_phase(self.phase)
+        if self.repeat < 1:
+            raise WorkloadError(f"repeat must be >= 1, got {self.repeat}")
+
+    def install_sharded(self, engine, rng: random.Random,
+                        stats: FaultStats) -> None:
+        index = (self.shard if self.shard is not None
+                 else rng.randrange(engine.shard_count))
+        engine.inject_shard_fault(index, "crash", at=self.at,
+                                  repeat=self.repeat, phase=self.phase,
+                                  persistent=self.persistent)
+        stats.shard_crashes += self.repeat
+
+
+@dataclass(frozen=True)
+class ShardHang(FaultSpec):
+    """One shard stalls for ``duration`` wall seconds, then raises.
+
+    Under the thread/process backends the stall outlives ``op_timeout``,
+    so the facade sees a :class:`~repro.shard.backends.ShardTimeoutError`
+    and the supervisor restarts the abandoned shard from durable state.
+    Keep ``duration`` finite and larger than the backend's timeout.
+    """
+
+    shard: int | None = None
+    at: float = 0.0
+    duration: float = 0.5
+    repeat: int = 1
+    phase: str = "pre"
+    persistent: bool = False
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        _check_shard_phase(self.phase)
+        if self.duration <= 0:
+            raise WorkloadError(
+                f"hang duration must be positive, got {self.duration}")
+        if self.repeat < 1:
+            raise WorkloadError(f"repeat must be >= 1, got {self.repeat}")
+
+    def install_sharded(self, engine, rng: random.Random,
+                        stats: FaultStats) -> None:
+        index = (self.shard if self.shard is not None
+                 else rng.randrange(engine.shard_count))
+        engine.inject_shard_fault(index, "hang", at=self.at,
+                                  duration=self.duration,
+                                  repeat=self.repeat, phase=self.phase,
+                                  persistent=self.persistent)
+        stats.shard_hangs += self.repeat
+
+
+@dataclass(frozen=True)
+class ReshardCrash(FaultSpec):
+    """The facade 'dies' as a reshard reaches ``phase``.
+
+    Installed as a hook on ``engine.reshard_hooks`` (an
+    :class:`~repro.shard.elastic.ElasticShardedEngine`); raises
+    :class:`SimulatedCrash` when the coordinator announces the phase, so
+    the crash-matrix suite can kill a migration before the snapshot,
+    between snapshot and restore, or during the re-route — and then
+    demand exactly-once recovery from the epoch manifest.  Fires ``times``
+    times (later reshards of a recovered run proceed normally).
+    """
+
+    phase: str = "snapshot"
+    times: int = 1
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.phase not in _RESHARD_PHASES:
+            raise WorkloadError(
+                f"reshard phase must be one of {_RESHARD_PHASES}, "
+                f"got {self.phase!r}")
+        if self.times < 1:
+            raise WorkloadError(f"times must be >= 1, got {self.times}")
+
+    def install_sharded(self, engine, rng: random.Random,
+                        stats: FaultStats) -> None:
+        remaining = [self.times]
+
+        def hook(phase: str) -> None:
+            if phase == self.phase and remaining[0] > 0:
+                remaining[0] -= 1
+                stats.reshard_crashes += 1
+                raise SimulatedCrash(
+                    f"injected crash at reshard phase {phase!r}",
+                    time=engine._drive_now, source="reshard")
+
+        engine.reshard_hooks.append(hook)
+
+
 class FaultPlan:
     """An ordered, seeded composition of fault specs.
 
@@ -581,6 +717,17 @@ class FaultPlan:
         for index, spec in enumerate(self.specs):
             if spec.source in sim.graph:
                 spec.install(sim, self._rng_for(index), self.stats)
+        return self
+
+    def install_sharded(self, engine) -> "FaultPlan":
+        """Arm every shard-level spec on a sharded engine facade.
+
+        Specs that pick a random victim shard draw it from their usual
+        per-``(seed, index)`` RNG, so the same plan kills the same shard
+        on every run.
+        """
+        for index, spec in enumerate(self.specs):
+            spec.install_sharded(engine, self._rng_for(index), self.stats)
         return self
 
     def wrap_feeds(self, feeds: Sequence) -> list:

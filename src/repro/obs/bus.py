@@ -135,7 +135,7 @@ class Observer:
 
     def on_shard(self, *, kind: str, shard: int, time: float,
                  frontier: float | None = None, count: int = 0,
-                 detail: str = "") -> None:
+                 value: float = 0.0, detail: str = "") -> None:
         """A sharded-engine event (:mod:`repro.shard`).
 
         ``kind`` is ``"ingest"`` (``count`` tuples routed to ``shard``),
@@ -143,10 +143,18 @@ class Observer:
         delivered ``count`` records), ``"frontier"`` (``shard`` is ``-1``:
         the global min frontier moved and ``count`` records were released
         by the merge), ``"retry"`` (a shard operation missed its timeout
-        and is being re-polled with backoff), ``"clamp"`` (the global
-        pressure view was broadcast back to ``count`` shards), or
-        ``"recovery"`` (``shard`` was restored to ``frontier`` after
-        replaying ``count`` ingests).
+        and is being re-polled after ``value`` seconds of backoff, attempt
+        ``count``), ``"clamp"`` (the global pressure view was broadcast
+        back to ``count`` shards), ``"recovery"`` (``shard`` was restored
+        to ``frontier`` after replaying ``count`` ingests), ``"reshard"``
+        (``shard`` is ``-1``: the topology changed, migrating ``count``
+        keys at quiesce frontier ``frontier``, pausing for ``value``
+        simulated seconds; ``detail`` is the direction, e.g. ``"4->5"``),
+        ``"supervisor"``
+        (the supervisor restarted ``shard`` — attempt ``count``, backoff
+        ``value`` — or escalated when ``detail`` says so), or ``"scale"``
+        (the autoscaler requested ``count`` shards on pressure signal
+        ``value``).
         """
 
     def on_feedback(self, *, kind: str, round_id: int, time: float,

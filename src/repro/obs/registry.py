@@ -271,6 +271,21 @@ class MetricsRegistry(Observer):
                                   "Per-shard recoveries from disk")
         self.shard_retries = c("repro_shard_retries_total",
                                "Backoff retries on shard operation timeouts")
+        self.shard_retry_backoff = h(
+            "repro_shard_retry_backoff_seconds",
+            "Backoff waited before re-polling a timed-out shard op",
+            buckets=(0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0))
+        self.shard_reshards = c("repro_shard_reshards_total",
+                                "Live topology changes, by direction label")
+        self.shard_migrated = c(
+            "repro_shard_migrated_keys_total",
+            "Keys whose route changed across a reshard")
+        self.shard_restarts = c(
+            "repro_shard_restarts_total",
+            "Supervisor-driven shard restarts, by outcome label")
+        self.shard_scale_requests = c(
+            "repro_shard_scale_requests_total",
+            "Autoscaler split/merge decisions, by direction label")
         self.shard_stat = g("repro_shard_stat",
                             "Absorbed end-of-run sharded-engine figures")
         self.feedback_waves = c("repro_feedback_waves_total",
@@ -401,7 +416,7 @@ class MetricsRegistry(Observer):
         self.recovery_last.set(duration, field="duration_seconds")
 
     def on_shard(self, *, kind, shard, time, frontier=None, count=0,
-                 detail="") -> None:
+                 value=0.0, detail="") -> None:
         if kind == "ingest":
             self.shard_ingest.inc(count, shard=shard)
         elif kind == "wakeup":
@@ -418,8 +433,19 @@ class MetricsRegistry(Observer):
                 self.shard_frontier.set(frontier, shard="global")
         elif kind == "retry":
             self.shard_retries.inc(shard=shard)
+            if value:
+                self.shard_retry_backoff.observe(value)
         elif kind == "recovery":
             self.shard_recoveries.inc(shard=shard)
+        elif kind == "reshard":
+            self.shard_reshards.inc(direction=detail or "reshard")
+            if count:
+                self.shard_migrated.inc(count)
+        elif kind == "supervisor":
+            self.shard_restarts.inc(
+                shard=shard, outcome=detail or "restarted")
+        elif kind == "scale":
+            self.shard_scale_requests.inc(direction=detail or "scale")
 
     def on_feedback(self, *, kind, round_id, time, pressure=0.0, depth=0,
                     drop_budget=0.0, sink_latency=0.0, frontier_lag=0.0,

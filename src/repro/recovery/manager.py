@@ -45,7 +45,8 @@ from ..core.tuples import ensure_seq_above
 from .checkpoint import CheckpointInfo, CheckpointStore
 from .wal import WalRecord, WriteAheadLog
 
-__all__ = ["RecoveryManager", "RecoveryReport", "CHECKPOINT_FORMAT_VERSION"]
+__all__ = ["RecoveryManager", "RecoveryReport", "CHECKPOINT_FORMAT_VERSION",
+           "wal_history", "partition_wal_history"]
 
 #: Version of the assembled checkpoint *document* (the per-component
 #: snapshots carry their own versions on top).  Bump on any change to the
@@ -452,6 +453,52 @@ class RecoveryManager:
     def close(self) -> None:
         """Release the WAL file handle (idempotent)."""
         self.wal.close()
+
+
+def wal_history(state_dir: str | Path) -> list[WalRecord]:
+    """Read a state directory's intact WAL records, without binding.
+
+    The keyed-migration primitive: a reshard coordinator reads every old
+    shard's durable input history with this (read-only — safe while the
+    owning worker holds the append handle, because replay reads the file
+    bytes as written) and re-partitions it under the new route.  A torn
+    tail is dropped, matching what :meth:`RecoveryManager.recover` would
+    replay after truncation.  Returns ``[]`` when no WAL exists yet.
+    """
+    path = Path(state_dir) / "wal.log"
+    if not path.exists():
+        return []
+    log = WriteAheadLog(path, fsync=False)
+    try:
+        records, _clean = log.replay_with_status()
+    finally:
+        log.close()
+    return records
+
+
+def partition_wal_history(records, route,
+                          shards: int) -> dict[int, list[WalRecord]]:
+    """Split merged WAL histories into per-shard keyed replay scripts.
+
+    ``route(payload) -> shard`` is the *new* partitioner over ``shards``
+    shards.  Ingest records go only to the shard that now owns their key;
+    ``punct`` records are control flow and broadcast to every script;
+    ``wakeup`` / ``marks`` records are drive-schedule and high-water-mark
+    bookkeeping tied to the *old* topology, so they are dropped — the
+    coordinator drives the new shards itself and discards replay output
+    at the facade.  Record order within each script preserves the input
+    order of ``records``, which the caller must pre-merge in global
+    arrival order.
+    """
+    scripts: dict[int, list[WalRecord]] = {i: [] for i in range(shards)}
+    for rec in records:
+        kind = rec["kind"]
+        if kind == "ingest":
+            scripts[route(rec["payload"])].append(rec)
+        elif kind == "punct":
+            for script in scripts.values():
+                script.append(rec)
+    return scripts
 
 
 def _max_seq(obj: Any, _best: int = -1) -> int:

@@ -19,6 +19,14 @@ from .backends import (
     ShardTimeoutError,
     ThreadBackend,
 )
+from .elastic import (
+    RESHARD_PHASES,
+    Autoscaler,
+    ElasticShardedEngine,
+    ReshardCoordinator,
+    ReshardReport,
+    ShardSupervisor,
+)
 from .engine import ShardedEngine, ShardedRecoveryReport
 from .frontier import FrontierMerge, FrontierTracker, shard_frontier
 from .partition import HashPartitioner, jump_hash, stable_hash
@@ -26,15 +34,21 @@ from .sim import ShardedSimulation
 
 __all__ = [
     "BACKENDS",
+    "RESHARD_PHASES",
+    "Autoscaler",
+    "ElasticShardedEngine",
     "EngineShard",
     "FrontierMerge",
     "FrontierTracker",
     "HashPartitioner",
     "ProcessBackend",
+    "ReshardCoordinator",
+    "ReshardReport",
     "SerialBackend",
     "ShardError",
     "ShardResult",
     "ShardSummary",
+    "ShardSupervisor",
     "ShardTimeoutError",
     "ShardedEngine",
     "ShardedRecoveryReport",

@@ -1,0 +1,804 @@
+"""Self-healing elastic shards: live resharding, autoscaling, supervision.
+
+The fixed-P :class:`~repro.shard.engine.ShardedEngine` answers *how* to
+split a timestamp-ordered computation; this module answers what happens
+when P was wrong — because load moved, a shard died, or the operator asked
+for a different topology mid-stream.  Three cooperating pieces:
+
+* :class:`ReshardCoordinator` — changes the shard count **live**:
+  quiesce-at-frontier, align every shard's source watermarks to the
+  global horizon, checkpoint, rebuild the new shard set from the facade's
+  command log (routed by the *new* partitioner), then atomically re-route.
+* :class:`ShardSupervisor` — turns a shard failure (injected crash, hang,
+  worker death) into a bounded-backoff restart from durable state instead
+  of a run abort, escalating to engine-level degradation only when the
+  restart budget is exhausted.
+* :class:`Autoscaler` — closes the loop: watches the per-shard buffer
+  depths and feedback pressure the wake-up protocol already reports, and
+  asks the coordinator for one more (or one fewer) shard after sustained
+  overload (or sustained idleness), with hysteresis and cooldown so a
+  bursty workload does not thrash the topology.
+
+Exactly-once across a reshard rests on two invariants:
+
+1. **Alignment.**  Before the snapshot, the coordinator broadcasts one
+   punctuation per source at the *global* horizon (the max over every
+   shard's live watermark and the facade's own ingest/punctuation highs).
+   Sources discard stale punctuation idempotently, so after the alignment
+   wake-up every shard's per-source watermark equals the value a single
+   unsharded engine would hold — the gates of the old shard set and of the
+   replayed new shard set therefore agree exactly at the handoff point.
+2. **Deterministic replay.**  The facade records every ``ingest``,
+   ``inject_punctuation`` and ``wakeup`` it performs (mirrored to a
+   durable facade WAL when a root directory is configured).  The new
+   shard set is built by re-dispatching that history wake-up by wake-up,
+   with ingests routed by the **new** partitioner and punctuation
+   broadcast — so each new shard ends up in exactly the state it would
+   have reached had the topology been the new one from the start.  All
+   replay outputs are discarded; the old shard set already emitted them.
+
+Epochs make the switch crash-atomic: each topology lives in its own
+``epoch-NNNN`` state directory, and a ``CURRENT`` manifest (written with
+an atomic rename) names the authoritative one.  A crash before the flip
+recovers the old epoch (stale newer directories are purged); a crash
+after it recovers the new epoch, whose shards were checkpointed before
+the flip.  See DESIGN.md §4k for the full protocol and proof sketch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import time as _time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..core.errors import ReproError
+from ..core.tuples import LATENT_TS, TimestampKind
+from ..recovery.manager import partition_wal_history, wal_history
+from ..recovery.wal import WAL_MAGIC, WriteAheadLog
+from .backends import ShardError, ShardResult, make_backend
+from .engine import ShardedEngine, ShardedRecoveryReport
+from .frontier import MergedRecord
+from .partition import HashPartitioner
+
+__all__ = ["ReshardReport", "ReshardCoordinator", "ShardSupervisor",
+           "Autoscaler", "ElasticShardedEngine", "RESHARD_PHASES"]
+
+#: The coordinator's phases, in execution order.  Fault hooks registered
+#: on ``engine.reshard_hooks`` are invoked with each phase name as it
+#: begins — the crash-matrix tests inject a simulated crash at every one.
+RESHARD_PHASES = ("quiesce", "align", "snapshot", "restore",
+                  "reroute", "resume")
+
+
+@dataclass(slots=True)
+class ReshardReport:
+    """What one live topology change did.
+
+    ``released`` holds the merge records the quiesce/align wake-ups let
+    through — they belong to the *output stream*, and a driver must
+    account for them exactly like ordinary wake-up returns.
+    """
+
+    old_shards: int = 0
+    new_shards: int = 0
+    epoch: int = 0
+    #: Distinct keys seen so far whose route changed under the new
+    #: partitioner, and the total distinct keys — the jump-hash movement
+    #: bound says migrated/total ≈ 1/new_shards for a grow step.
+    migrated_keys: int = 0
+    total_keys: int = 0
+    #: Global frontier at the handoff point (after alignment).
+    frontier: float = float("-inf")
+    released: list = field(default_factory=list)
+    replayed_ingests: int = 0
+    replayed_puncts: int = 0
+    #: Outputs re-derived (and discarded) during replay — the duplication
+    #: the old shard set already emitted, proof the discard mattered.
+    discarded_outputs: int = 0
+    #: Wall-clock seconds the facade was paused (no new wake-ups served).
+    pause_seconds: float = 0.0
+    reason: str = "manual"
+
+    @property
+    def direction(self) -> str:
+        return f"{self.old_shards}->{self.new_shards}"
+
+    def as_dict(self) -> dict:
+        return {
+            "direction": self.direction, "epoch": self.epoch,
+            "migrated_keys": self.migrated_keys,
+            "total_keys": self.total_keys, "frontier": self.frontier,
+            "released": len(self.released),
+            "replayed_ingests": self.replayed_ingests,
+            "replayed_puncts": self.replayed_puncts,
+            "discarded_outputs": self.discarded_outputs,
+            "pause_seconds": self.pause_seconds, "reason": self.reason,
+        }
+
+
+class ReshardCoordinator:
+    """Executes one live shard-count change on an elastic engine.
+
+    The six phases (:data:`RESHARD_PHASES`):
+
+    1. **quiesce** — flush any exchange backlog with a normal wake-up, so
+       the handoff happens at a wake-up boundary.
+    2. **align** — broadcast one punctuation per source at the global
+       horizon and wake up again: every shard's watermarks now equal the
+       single-engine values (stale punctuation is discarded, so this is
+       idempotent per shard).
+    3. **snapshot** — checkpoint every old shard (durable mode only);
+       the old epoch stays recoverable until the flip.
+    4. **restore** — build the new shard set in a fresh epoch directory
+       and replay the facade command log into it, routed by the new
+       partitioner, discarding all outputs; checkpoint the new epoch.
+    5. **reroute** — atomically flip the ``CURRENT`` manifest, then swap
+       the facade's backend/partitioner/tracker to the new topology.
+    6. **resume** — normal wake-ups continue against the new shards.
+
+    A failure in phases 1–4 leaves the old topology fully live (the
+    half-built epoch is closed and will be purged on the next recovery);
+    a failure after the flip leaves the new topology durable.
+    """
+
+    def __init__(self, engine: "ElasticShardedEngine") -> None:
+        self.engine = engine
+
+    def _hook(self, phase: str) -> None:
+        for hook in self.engine.reshard_hooks:
+            hook(phase)
+
+    def run(self, new_shards: int, *, reason: str = "manual") -> ReshardReport:
+        e = self.engine
+        new_shards = int(new_shards)
+        if new_shards < 1:
+            raise ReproError(f"shard count must be positive, got {new_shards}")
+        if e._resharding:
+            raise ReproError("reshard already in progress")
+        report = ReshardReport(old_shards=e.shard_count,
+                               new_shards=new_shards, reason=reason)
+        if new_shards == e.shard_count:
+            report.epoch = e._epoch
+            return report
+        started = _time.perf_counter()
+        e._resharding = True
+        e.reshard_released = report.released
+        try:
+            self._hook("quiesce")
+            if e._pending_puncts or any(e._pending_ingests):
+                report.released.extend(e.wakeup())
+            self._hook("align")
+            for source, ts in sorted(e._alignment_targets().items()):
+                e.inject_punctuation(source, ts, origin="reshard")
+            if e._pending_puncts:
+                report.released.extend(e.wakeup())
+            report.frontier = e.tracker.global_frontier()
+            self._hook("snapshot")
+            if e.state_dir is not None:
+                e.backend.checkpoint_all()
+            self._hook("restore")
+            report.epoch = e._epoch + 1
+            backend, partitioner, epoch_dir = self._build_epoch(
+                new_shards, report)
+            try:
+                self._hook("reroute")
+                self._flip(backend, partitioner, epoch_dir, report)
+            except BaseException:
+                try:
+                    backend.close()
+                except Exception:  # noqa: BLE001 - best-effort teardown
+                    pass
+                raise
+            self._hook("resume")
+        finally:
+            e._resharding = False
+        report.pause_seconds = _time.perf_counter() - started
+        e.reshards.append(report)
+        if e.bus is not None:
+            e.bus.shard(kind="reshard", shard=-1, time=e._drive_now,
+                        frontier=report.frontier,
+                        count=report.migrated_keys,
+                        value=report.pause_seconds,
+                        detail=report.direction)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Phase bodies
+
+    def _build_epoch(self, new_shards: int, report: ReshardReport):
+        """Build + replay + checkpoint the new shard set; close on failure."""
+        e = self.engine
+        epoch_dir = None
+        if e.root_dir is not None:
+            epoch_dir = e.root_dir / f"epoch-{report.epoch:04d}"
+            if epoch_dir.exists():
+                shutil.rmtree(epoch_dir)
+        partitioner = HashPartitioner(new_shards, e.partitioner.key_fn)
+        base_kwargs = e._shard_kwargs
+
+        def shard_kwargs(index: int) -> dict:
+            kwargs = dict(base_kwargs(index))
+            kwargs["state_dir"] = (None if epoch_dir is None
+                                   else epoch_dir / f"shard-{index:02d}")
+            return kwargs
+
+        backend = make_backend(e.backend_kind, new_shards, build=e._build,
+                               shard_kwargs=shard_kwargs, **e._backend_opts)
+        try:
+            self._replay(backend, partitioner, new_shards, report)
+            if epoch_dir is not None:
+                backend.checkpoint_all()
+        except BaseException:
+            try:
+                backend.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+            raise
+        return backend, partitioner, epoch_dir
+
+    def _replay(self, backend, partitioner: HashPartitioner,
+                new_shards: int, report: ReshardReport) -> None:
+        """Re-dispatch the facade history wake-up by wake-up, new routing."""
+        e = self.engine
+        keys: set = set()
+        moved: set = set()
+        key_fn = e.partitioner.key_fn
+        segment: list = []
+        for rec in e._log:
+            if rec["kind"] != "wakeup":
+                segment.append(rec)
+                if rec["kind"] == "ingest":
+                    key = (key_fn(rec["payload"]) if key_fn is not None
+                           else rec["payload"])
+                    keys.add(key)
+                    if e.partitioner(key) != partitioner(key):
+                        moved.add(key)
+                continue
+            scripts = partition_wal_history(
+                segment, partitioner.shard_for_payload, new_shards)
+            segment = []
+            commands = []
+            for index in range(new_shards):
+                ingests = [(r["source"], r["payload"], r["time"], r["ts"])
+                           for r in scripts[index] if r["kind"] == "ingest"]
+                puncts = [(r["source"], r["ts"], r["origin"], r["periodic"])
+                          for r in scripts[index] if r["kind"] == "punct"]
+                commands.append((ingests, puncts, rec["now"], rec["clamp"]))
+                report.replayed_ingests += len(ingests)
+            report.replayed_puncts += len(commands[0][1]) if commands else 0
+            for result in backend.apply_all(commands):
+                report.discarded_outputs += len(result.outputs)
+        if segment:  # pre-wakeup tail: impossible after quiesce, but be safe
+            raise ReproError("reshard replay found commands with no wakeup "
+                             "marker; quiesce did not flush the exchange")
+        report.migrated_keys = len(moved)
+        report.total_keys = len(keys)
+
+    def _flip(self, backend, partitioner: HashPartitioner,
+              epoch_dir: Path | None, report: ReshardReport) -> None:
+        """Point the facade at the new topology; the commit point."""
+        e = self.engine
+        if e.root_dir is not None:
+            _write_manifest(e.root_dir, report.epoch, report.new_shards)
+        old_backend = e.backend
+        e.backend = backend
+        if hasattr(backend, "on_retry"):
+            backend.on_retry = e._note_retry
+        e.partitioner = partitioner
+        e.shard_count = report.new_shards
+        e.state_dir = epoch_dir
+        e._epoch = report.epoch
+        e._pending_ingests = [[] for _ in range(report.new_shards)]
+        e.tracker.resize(report.new_shards, floor=report.frontier)
+        e._sent = self._replay_tally(report.new_shards, partitioner)
+        e._last_depths = []
+        try:
+            old_backend.close()
+        except Exception:  # noqa: BLE001 - the old epoch is already durable
+            pass
+
+    def _replay_tally(self, new_shards: int,
+                      partitioner: HashPartitioner) -> dict[int, dict[str, int]]:
+        """Per-shard acked-ingest counts under the new routing."""
+        sent: dict[int, dict[str, int]] = {}
+        for rec in self.engine._log:
+            if rec["kind"] != "ingest":
+                continue
+            shard = partitioner.shard_for_payload(rec["payload"])
+            tally = sent.setdefault(shard, {})
+            tally[rec["source"]] = tally.get(rec["source"], 0) + 1
+        return sent
+
+
+class ShardSupervisor:
+    """Bounded-backoff restart policy for failed shards.
+
+    Bound to an :class:`ElasticShardedEngine`, it replaces the all-or-
+    nothing ``apply_all`` wake-up with the containment path: healthy
+    shards keep their results, and a shard that raised (crash, hang
+    timeout, dead worker) is restarted from its checkpoint + WAL and the
+    wake-up's command re-applied — minus the per-source ingest prefix the
+    restarted shard already recovered, so nothing is applied twice.
+
+    Restarts back off exponentially (``backoff_base * backoff_factor**i``
+    capped at ``backoff_cap``, plus seeded jitter) through an injectable
+    ``sleep`` so tests never wait.  When ``max_restarts`` attempts all
+    fail the supervisor escalates: the engine is flagged ``degraded`` and
+    the original failure class propagates to the driver.
+    """
+
+    def __init__(self, *, max_restarts: int = 3, backoff_base: float = 0.05,
+                 backoff_factor: float = 2.0, backoff_cap: float = 1.0,
+                 jitter: float = 0.1, seed: int = 0,
+                 sleep: Callable[[float], None] | None = None) -> None:
+        if max_restarts < 1:
+            raise ReproError("supervisor needs max_restarts >= 1")
+        self.max_restarts = int(max_restarts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_cap = float(backoff_cap)
+        self.jitter = float(jitter)
+        self._rng = random.Random(f"supervisor:{seed}")
+        self._sleep = sleep if sleep is not None else _time.sleep
+        self.engine: ElasticShardedEngine | None = None
+        self.restarts = 0
+        self.escalations = 0
+        self.backoffs: list[float] = []
+
+    def bind(self, engine: "ElasticShardedEngine") -> "ShardSupervisor":
+        self.engine = engine
+        return self
+
+    def apply(self, commands) -> list[ShardResult]:
+        """The supervised wake-up: contain, restart, re-apply."""
+        engine = self.engine
+        results = engine.backend.apply_each(commands)
+        for index, result in enumerate(results):
+            if isinstance(result, Exception):
+                results[index] = self._heal(index, commands[index], result)
+        return results
+
+    def _heal(self, index: int, command, failure: Exception) -> ShardResult:
+        engine = self.engine
+        last = failure
+        for attempt in range(1, self.max_restarts + 1):
+            backoff = min(self.backoff_cap,
+                          self.backoff_base
+                          * self.backoff_factor ** (attempt - 1))
+            backoff *= 1.0 + self.jitter * self._rng.random()
+            self.backoffs.append(backoff)
+            self._sleep(backoff)
+            if engine.bus is not None:
+                engine.bus.shard(
+                    kind="supervisor", shard=index, time=engine._drive_now,
+                    count=attempt, value=backoff,
+                    detail=f"restart after {type(last).__name__}")
+            try:
+                report = engine.backend.restart_shard(index)
+                result = engine.backend.apply_one(
+                    index, self._deduct_applied(index, command, report))
+            except Exception as exc:  # noqa: BLE001 - retry loop by contract
+                last = exc
+                continue
+            self.restarts += 1
+            return result
+        self.escalations += 1
+        engine.degraded = True
+        if engine.bus is not None:
+            engine.bus.shard(kind="supervisor", shard=index,
+                             time=engine._drive_now, count=self.max_restarts,
+                             detail="escalated")
+        raise ShardError(
+            f"shard {index} still failing after {self.max_restarts} "
+            f"restart attempts; engine degraded") from last
+
+    def _deduct_applied(self, index: int, command, report):
+        """Trim the command prefix the restarted shard already recovered.
+
+        The shard's WAL counts every ingest it durably logged — including
+        those of the command that crashed mid-apply.  Subtracting the
+        facade's *acknowledged* count per source leaves exactly the number
+        of this command's ingests that must be skipped on re-apply
+        (commands apply in order, so per-source prefix matching is exact).
+        Punctuation is re-applied in full: sources discard stale
+        punctuation idempotently.
+        """
+        ingests, puncts, now, clamp = command
+        acked = self.engine._sent.get(index, {})
+        skip = {source: max(0, count - acked.get(source, 0))
+                for source, count in report.ingests_by_source.items()}
+        kept = []
+        for item in ingests:
+            if skip.get(item[0], 0) > 0:
+                skip[item[0]] -= 1
+            else:
+                kept.append(item)
+        return (kept, puncts, now, clamp)
+
+
+class Autoscaler:
+    """Hysteresis policy mapping load signals to shard-count requests.
+
+    Consumes what the wake-up protocol already measures — per-shard
+    buffer depths (``ShardResult.depth``, the ``repro_shard_depth``
+    signal) and the aggregated feedback pressure — and requests a split
+    after ``sustain`` consecutive overloaded observations, or a merge
+    after ``sustain`` consecutive drained ones.  Every decision starts a
+    ``cooldown`` during which no further decision is made, so the
+    topology cannot thrash faster than the reshard pause amortizes.
+    """
+
+    def __init__(self, *, high_depth: int = 64, low_depth: int = 4,
+                 sustain: int = 3, cooldown: int = 8, min_shards: int = 1,
+                 max_shards: int = 8, step: int = 1,
+                 high_pressure: float | None = None) -> None:
+        if low_depth >= high_depth:
+            raise ReproError("autoscaler needs low_depth < high_depth "
+                             "(the hysteresis band)")
+        if min_shards < 1 or max_shards < min_shards:
+            raise ReproError("autoscaler needs 1 <= min_shards <= max_shards")
+        self.high_depth = int(high_depth)
+        self.low_depth = int(low_depth)
+        self.sustain = int(sustain)
+        self.cooldown = int(cooldown)
+        self.min_shards = int(min_shards)
+        self.max_shards = int(max_shards)
+        self.step = int(step)
+        self.high_pressure = high_pressure
+        self._hot = 0
+        self._cold = 0
+        self._wait = 0
+        #: ``(verb, target, peak_depth)`` per decision, for tests/summary.
+        self.decisions: list[tuple[str, int, int]] = []
+
+    def observe(self, shard_count: int, depths, pressure: float = 0.0
+                ) -> int | None:
+        """Feed one wake-up's signals; returns a target count or None."""
+        if self._wait > 0:
+            self._wait -= 1
+            return None
+        peak = max(depths, default=0)
+        hot = peak >= self.high_depth or (
+            self.high_pressure is not None and pressure >= self.high_pressure)
+        if hot:
+            self._hot += 1
+            self._cold = 0
+        elif peak <= self.low_depth:
+            self._cold += 1
+            self._hot = 0
+        else:
+            self._hot = 0
+            self._cold = 0
+        if self._hot >= self.sustain and shard_count < self.max_shards:
+            target = min(self.max_shards, shard_count + self.step)
+            self._hot = 0
+            self._wait = self.cooldown
+            self.decisions.append(("split", target, peak))
+            return target
+        if self._cold >= self.sustain and shard_count > self.min_shards:
+            target = max(self.min_shards, shard_count - self.step)
+            self._cold = 0
+            self._wait = self.cooldown
+            self.decisions.append(("merge", target, peak))
+            return target
+        return None
+
+
+def _write_manifest(root: Path, epoch: int, shards: int) -> None:
+    """Atomically point ``root/CURRENT`` at an epoch (the commit point)."""
+    tmp = root / "CURRENT.tmp"
+    tmp.write_text(json.dumps({"epoch": epoch, "shards": shards}))
+    os.replace(tmp, root / "CURRENT")
+
+
+def _read_manifest(root: Path) -> dict | None:
+    current = root / "CURRENT"
+    if not current.exists():
+        return None
+    return json.loads(current.read_text())
+
+
+class ElasticShardedEngine(ShardedEngine):
+    """A :class:`ShardedEngine` whose shard count can change while live.
+
+    Extra arguments over the base:
+
+    Args:
+        supervisor: A :class:`ShardSupervisor` to own shard failures;
+            requires ``state_dir`` (restart recovers from durable state).
+        autoscaler: An :class:`Autoscaler` consulted after every wake-up;
+            its target is applied at the *start* of the next wake-up.
+
+    ``state_dir`` becomes the elastic **root**: each topology lives under
+    ``root/epoch-NNNN`` with a ``CURRENT`` manifest naming the live one,
+    and the facade's own command history is mirrored to ``root/facade``.
+    A fresh facade pointed at an existing root adopts the manifest's
+    topology (the manifest's shard count overrides the argument).
+    """
+
+    def __init__(self, build: Callable[[], Any], *, shards: int,
+                 key: str | Callable[[Any], Any],
+                 supervisor: ShardSupervisor | None = None,
+                 autoscaler: Autoscaler | None = None,
+                 state_dir: str | Path | None = None, **kwargs) -> None:
+        root = Path(state_dir) if state_dir is not None else None
+        epoch = 0
+        if root is not None:
+            manifest = _read_manifest(root)
+            if manifest is not None:
+                epoch = int(manifest["epoch"])
+                shards = int(manifest["shards"])
+            root.mkdir(parents=True, exist_ok=True)
+            for stale in root.glob("epoch-*"):
+                try:
+                    number = int(stale.name.split("-", 1)[1])
+                except ValueError:
+                    continue
+                if number > epoch:  # built but never committed: purge
+                    shutil.rmtree(stale, ignore_errors=True)
+            if manifest is None:
+                _write_manifest(root, epoch, int(shards))
+        epoch_dir = None if root is None else root / f"epoch-{epoch:04d}"
+        super().__init__(build, shards=shards, key=key,
+                         state_dir=epoch_dir, **kwargs)
+        self.root_dir = root
+        self._epoch = epoch
+        self._facade_wal: WriteAheadLog | None = None
+        if root is not None:
+            (root / "facade").mkdir(parents=True, exist_ok=True)
+            self._facade_wal = WriteAheadLog(root / "facade" / "wal.log")
+        #: The facade command log: every ingest / punctuation / wakeup in
+        #: dispatch order — the reshard replay script.
+        self._log: list[dict] = []
+        self._data_high: dict[str, float] = {}
+        self._punct_high: dict[str, float] = {}
+        #: Per-shard acknowledged ingest counts ``{shard: {source: n}}``
+        #: under the *current* partitioner — the supervisor's dedup ledger.
+        self._sent: dict[int, dict[str, int]] = {}
+        self._last_depths: list[int] = []
+        self._last_pressure = 0.0
+        self._scale_target: int | None = None
+        self._resharding = False
+        self.degraded = False
+        #: Phase hooks ``f(phase_name)`` called as each reshard phase
+        #: begins — the fault-injection seam (:class:`repro.faults.\
+        #: ReshardCrash` appends here).
+        self.reshard_hooks: list[Callable[[str], None]] = []
+        #: Records released by the coordinator's internal wake-ups during
+        #: the most recent (possibly crashed) reshard — a driver that
+        #: catches a mid-reshard crash accounts these like wakeup returns.
+        self.reshard_released: list[MergedRecord] = []
+        self.reshards: list[ReshardReport] = []
+        self.supervisor = supervisor.bind(self) if supervisor else None
+        self.autoscaler = autoscaler
+        probe = build()
+        self._source_kinds = {src.name: src.timestamp_kind
+                              for src in probe.sources()}
+
+    # ------------------------------------------------------------------ #
+    # Command logging
+
+    def _log_record(self, record: dict) -> None:
+        self._log.append(record)
+        if self._facade_wal is not None:
+            self._facade_wal.append(record)
+
+    def ingest(self, source: str, payload: Any, *, time: float,
+               ts: float | None = None) -> int:
+        self._log_record({"kind": "ingest", "source": source,
+                          "payload": payload, "time": time, "ts": ts})
+        high = time if ts is None else ts
+        if high > self._data_high.get(source, LATENT_TS):
+            self._data_high[source] = high
+        return super().ingest(source, payload, time=time, ts=ts)
+
+    def inject_punctuation(self, source: str, ts: float, *,
+                           origin: str = "", periodic: bool = False) -> None:
+        self._log_record({"kind": "punct", "source": source, "ts": ts,
+                          "origin": origin, "periodic": periodic})
+        if ts > self._punct_high.get(source, LATENT_TS):
+            self._punct_high[source] = ts
+        super().inject_punctuation(source, ts, origin=origin,
+                                   periodic=periodic)
+
+    # ------------------------------------------------------------------ #
+    # Driving
+
+    def wakeup(self) -> list[MergedRecord]:
+        """One elastic wake-up: apply any pending scale decision first."""
+        released: list[MergedRecord] = []
+        if self._scale_target is not None and not self._resharding:
+            target, self._scale_target = self._scale_target, None
+            if target != self.shard_count:
+                released.extend(
+                    self.reshard(target, reason="autoscale").released)
+        clamp = self.global_pressure if self.feedback_enabled else None
+        self._log_record({"kind": "wakeup", "now": self._drive_now,
+                          "clamp": clamp})
+        released.extend(super().wakeup())
+        if self.autoscaler is not None and not self._resharding:
+            target = self.autoscaler.observe(
+                self.shard_count, self._last_depths, self._last_pressure)
+            if target is not None:
+                self._scale_target = target
+                if self.bus is not None:
+                    self.bus.shard(
+                        kind="scale", shard=-1, time=self._drive_now,
+                        count=target,
+                        value=float(max(self._last_depths, default=0)),
+                        detail=("split" if target > self.shard_count
+                                else "merge"))
+        return released
+
+    def _apply(self, commands) -> list[ShardResult]:
+        if self.supervisor is not None:
+            results = self.supervisor.apply(commands)
+        else:
+            results = self.backend.apply_all(commands)
+        for index, command in enumerate(commands):
+            if not command[0]:
+                continue
+            tally = self._sent.setdefault(index, {})
+            for item in command[0]:
+                tally[item[0]] = tally.get(item[0], 0) + 1
+        self._last_depths = [result.depth for result in results]
+        self._last_pressure = max(
+            (result.pressure for result in results), default=0.0)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Resharding
+
+    def reshard(self, new_shards: int, *, reason: str = "manual"
+                ) -> ReshardReport:
+        """Change the live shard count to ``new_shards``; see
+        :class:`ReshardCoordinator` for the protocol."""
+        return ReshardCoordinator(self).run(new_shards, reason=reason)
+
+    def _alignment_targets(self) -> dict[str, float]:
+        """Per-source global horizon: the alignment punctuation values.
+
+        For each non-latent source, the max over every shard's live
+        watermark and the facade's own ingest/punctuation highs — exactly
+        the watermark a single unsharded engine would hold, since that is
+        the max over all data and punctuation timestamps ever admitted.
+        """
+        targets: dict[str, float] = {}
+        for summary in self.backend.summaries():
+            for name, horizon in summary.sources.items():
+                high = max(horizon.get("watermark", LATENT_TS),
+                           horizon.get("last_data_ts", LATENT_TS))
+                if high > targets.get(name, LATENT_TS):
+                    targets[name] = high
+        for highs in (self._data_high, self._punct_high):
+            for name, high in highs.items():
+                if high > targets.get(name, LATENT_TS):
+                    targets[name] = high
+        return {name: ts for name, ts in targets.items()
+                if ts > LATENT_TS
+                and self._source_kinds.get(name) is not TimestampKind.LATENT}
+
+    # ------------------------------------------------------------------ #
+    # Durability
+
+    def recover(self) -> ShardedRecoveryReport:
+        """Recover the manifest-selected epoch, then rebuild the facade log.
+
+        The facade WAL is written *before* dispatch, so after a crash it
+        may run ahead of what any shard durably holds.  Each record is
+        kept only within the recovered shards' budgets — ingests while the
+        destination shard's per-source replay count lasts (prefix
+        matching: dispatch order equals log order), punctuation up to its
+        maximum per-shard occurrence count (shard WALs log punctuation
+        even when the source discards it, so presence proves dispatch) —
+        and the log is truncated after the last surviving command.  The
+        rebuilt history is atomically rewritten to disk, so a reshard
+        after recovery replays exactly the durable prefix.
+        """
+        report = super().recover()
+        if self.root_dir is None:
+            return report
+        records = wal_history(self.root_dir / "facade")
+        ingest_budget = {shard: dict(counts) for shard, counts
+                         in report.ingests_by_shard.items()}
+        punct_budget: dict[tuple, int] = {}
+        for index in range(self.shard_count):
+            counts: dict[tuple, int] = {}
+            for rec in wal_history(self.state_dir / f"shard-{index:02d}"):
+                if rec["kind"] == "punct":
+                    key = (rec["source"], rec["ts"], rec.get("origin", ""))
+                    counts[key] = counts.get(key, 0) + 1
+            for key, count in counts.items():
+                punct_budget[key] = max(punct_budget.get(key, 0), count)
+        kept: list[dict] = []
+        last_command = -1
+        for rec in records:
+            rec = dict(rec)
+            kind = rec["kind"]
+            if kind == "ingest":
+                shard = self.partitioner.shard_for_payload(rec["payload"])
+                budget = ingest_budget.get(shard, {})
+                if budget.get(rec["source"], 0) <= 0:
+                    continue
+                budget[rec["source"]] -= 1
+                last_command = len(kept)
+            elif kind == "punct":
+                key = (rec["source"], rec["ts"], rec.get("origin", ""))
+                if punct_budget.get(key, 0) <= 0:
+                    continue
+                punct_budget[key] -= 1
+                last_command = len(kept)
+            kept.append(rec)
+        # Drop the tail the crash cut off: trailing wake-up markers (and
+        # anything after the last surviving command) never reached a shard.
+        del kept[last_command + 2:]
+        self._data_high = {}
+        self._punct_high = {}
+        for rec in kept:
+            if rec["kind"] == "ingest":
+                high = rec["time"] if rec["ts"] is None else rec["ts"]
+                if high > self._data_high.get(rec["source"], LATENT_TS):
+                    self._data_high[rec["source"]] = high
+                if rec["time"] > self._drive_now:
+                    self._drive_now = rec["time"]
+            elif rec["kind"] == "punct":
+                if rec["ts"] > self._punct_high.get(rec["source"], LATENT_TS):
+                    self._punct_high[rec["source"]] = rec["ts"]
+            elif rec["now"] > self._drive_now:
+                self._drive_now = rec["now"]
+        if kept and kept[-1]["kind"] != "wakeup":
+            # The final marker's frame was torn off the facade WAL; the
+            # shards saw the dispatch (their budgets covered it), so
+            # restore the boundary at the rebuilt horizon.
+            kept.append({"kind": "wakeup", "now": self._drive_now,
+                         "clamp": None})
+        self._rewrite_facade_wal(kept)
+        self._log = kept
+        self._sent = {shard: dict(counts) for shard, counts
+                      in report.ingests_by_shard.items()}
+        return report
+
+    def _rewrite_facade_wal(self, kept: list[dict]) -> None:
+        facade = self.root_dir / "facade"
+        if self._facade_wal is not None:
+            self._facade_wal.close()
+        tmp = facade / "wal.tmp"
+        if tmp.exists():
+            tmp.unlink()
+        if kept:
+            log = WriteAheadLog(tmp, fsync=False)
+            for rec in kept:
+                log.append(rec)
+            log.close()
+        else:
+            tmp.write_bytes(WAL_MAGIC)
+        os.replace(tmp, facade / "wal.log")
+        self._facade_wal = WriteAheadLog(facade / "wal.log")
+
+    def close(self, *, flush: bool = True) -> list[MergedRecord]:
+        remaining = super().close(flush=flush)
+        if self._facade_wal is not None:
+            self._facade_wal.close()
+        return remaining
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def summary(self) -> dict:
+        out = super().summary()
+        out["epoch"] = self._epoch
+        out["reshards"] = [report.as_dict() for report in self.reshards]
+        out["degraded"] = self.degraded
+        if self.supervisor is not None:
+            out["supervisor"] = {
+                "restarts": self.supervisor.restarts,
+                "escalations": self.supervisor.escalations,
+            }
+        if self.autoscaler is not None:
+            out["autoscale_decisions"] = list(self.autoscaler.decisions)
+        return out

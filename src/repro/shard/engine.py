@@ -118,6 +118,11 @@ class ShardedEngine:
         feedback_factory: Deprecated alias of ``feedback``.
         retry_limit: Bounded re-poll attempts per operation for the
             process backend (see :class:`ProcessBackend`).
+        retry_base / retry_cap / retry_jitter / retry_seed: Exponential
+            re-poll backoff shape for the process backend — attempt ``i``
+            waits ``min(retry_cap, op_timeout * retry_base**i)`` plus up
+            to ``retry_jitter`` of seeded jitter; ``retry_cap=None``
+            defaults to ``4 * op_timeout``.
         config: Optional :class:`~repro.core.config.EngineConfig` supplying
             defaults for the shared knobs; explicit keyword arguments win,
             and the factory-shaped knobs (``ets_policy``, ``feedback``)
@@ -138,6 +143,10 @@ class ShardedEngine:
                  feedback: Callable[[], Any] | None = None,
                  feedback_factory: Callable[[], Any] | None = None,
                  retry_limit: int = 1,
+                 retry_base: float = 2.0,
+                 retry_cap: float | None = None,
+                 retry_jitter: float = 0.25,
+                 retry_seed: int = 0,
                  config: EngineConfig | None = None) -> None:
         if feedback_factory is not None:
             warnings.warn(
@@ -198,20 +207,24 @@ class ShardedEngine:
 
         self._shard_kwargs = shard_kwargs
         self._build = build
+        self._key = key
+        self._backend_opts = dict(
+            op_timeout=op_timeout, retry_limit=retry_limit,
+            retry_base=retry_base, retry_cap=retry_cap,
+            retry_jitter=retry_jitter, retry_seed=retry_seed)
         self.backend = make_backend(backend, shards, build=build,
                                     shard_kwargs=shard_kwargs,
-                                    op_timeout=op_timeout,
-                                    retry_limit=retry_limit)
+                                    **self._backend_opts)
         if hasattr(self.backend, "on_retry"):
             self.backend.on_retry = self._note_retry
 
     def _note_retry(self, shard: int, op: str, attempt: int,
-                    timeout: float) -> None:
+                    backoff: float) -> None:
         """Backend retry hook → ``on_shard(kind="retry")`` bus event."""
         if self.bus is not None:
             self.bus.shard(kind="retry", shard=shard, time=self._drive_now,
-                           count=attempt,
-                           detail=f"{op} re-polled with {timeout:g}s")
+                           count=attempt, value=backoff,
+                           detail=f"{op} re-polled with {backoff:g}s")
 
     # ------------------------------------------------------------------ #
     # Routing (the shuffle)
@@ -241,6 +254,31 @@ class ShardedEngine:
     # ------------------------------------------------------------------ #
     # Driving
 
+    def _apply(self, commands) -> list[ShardResult]:
+        """Run one wake-up's commands on the backend.
+
+        A single override point: :class:`~repro.shard.elastic.\
+ElasticShardedEngine` swaps in the supervised per-shard path here
+        (contain a failed shard, restart it, re-apply) without touching
+        the rest of the wake-up protocol.
+        """
+        return self.backend.apply_all(commands)
+
+    def inject_shard_fault(self, index: int, kind: str, *, at: float = 0.0,
+                           duration: float = 0.0, repeat: int = 1,
+                           phase: str = "pre",
+                           persistent: bool = False) -> None:
+        """Arm an injected ``crash``/``hang`` fault on one shard.
+
+        This is the plumbing :class:`repro.faults.ShardCrash` /
+        :class:`repro.faults.ShardHang` ride; see
+        :meth:`EngineShard.arm_fault` for the semantics.  ``persistent``
+        faults re-arm after a supervisor restart (the escalation path).
+        """
+        self.backend.inject_fault(index, {
+            "kind": kind, "at": at, "duration": duration,
+            "repeat": repeat, "phase": phase, "persistent": persistent})
+
     def wakeup(self) -> list[MergedRecord]:
         """Flush the exchange, run every shard to quiescence, merge.
 
@@ -259,7 +297,7 @@ class ShardedEngine:
                     for i in range(self.shard_count)]
         self._pending_ingests = [[] for _ in range(self.shard_count)]
         self._pending_puncts = []
-        results: list[ShardResult] = self.backend.apply_all(commands)
+        results: list[ShardResult] = self._apply(commands)
         self.wakeups += 1
         if clamp is not None and clamp > 0.0:
             self.clamps_broadcast += 1

@@ -115,6 +115,22 @@ class FrontierTracker:
     def frontier(self, shard: int) -> float:
         return self._frontiers[shard]
 
+    def resize(self, shards: int, *, floor: float | None = None) -> None:
+        """Rebuild the register table for a new shard count (resharding).
+
+        Every new register starts at ``floor`` — the reshard coordinator
+        passes the old global frontier, which is safe because migrated
+        state was quiesced at that frontier: no restored shard can emit
+        below it.  ``floor=None`` uses the current global minimum.  The
+        ``regressions`` / ``advertisements`` counters survive the resize,
+        so a restored shard advertising a stale pre-reshard frontier is
+        clamped *and counted* exactly like an in-place regression.
+        """
+        if shards <= 0:
+            raise ReproError(f"shard count must be positive, got {shards}")
+        base = self.global_frontier() if floor is None else floor
+        self._frontiers = [base] * shards
+
     def global_frontier(self) -> float:
         """``min`` across all shards — the downstream gate, TSM-style."""
         return min(self._frontiers)

@@ -21,6 +21,7 @@ from typing import Any, Callable, Iterable, Mapping
 
 from ..core.errors import WorkloadError
 from ..sim.kernel import Arrival
+from .elastic import Autoscaler, ElasticShardedEngine, ShardSupervisor
 from .engine import ShardedEngine
 from .frontier import MergedRecord
 
@@ -40,6 +41,14 @@ class ShardedSimulation:
             (scenario-B style), broadcast to every shard.
         wake_every: Exchange flushes per drive — the engine wakes up after
             this many delivered events (chunked, like the oracle drive).
+        reshard_at: Optional ``{time: target_shards}`` schedule of live
+            topology changes, executed at the first wake-up whose drive
+            time reaches each instant; implies the elastic engine.
+        supervisor / autoscaler: Optional
+            :class:`~repro.shard.elastic.ShardSupervisor` /
+            :class:`~repro.shard.elastic.Autoscaler`; either one (or
+            ``elastic=True``) selects the
+            :class:`~repro.shard.elastic.ElasticShardedEngine`.
     """
 
     def __init__(self, build: Callable[[], Any], *, shards: int,
@@ -53,15 +62,26 @@ class ShardedSimulation:
                  observers=None, op_timeout: float = 60.0,
                  disorder_bound: float = 0.0,
                  feedback=None,
+                 reshard_at: Mapping[float, int] | None = None,
+                 supervisor: ShardSupervisor | None = None,
+                 autoscaler: Autoscaler | None = None,
+                 elastic: bool = False,
                  config=None) -> None:
-        self.engine = ShardedEngine(
-            build, shards=shards, key=key, backend=backend,
+        shared = dict(
+            shards=shards, key=key, backend=backend,
             ets_policy_factory=ets_policy_factory, batch_size=batch_size,
             block_mode=block_mode,
             state_dir=state_dir, checkpoint_every=checkpoint_every,
             observers=observers, op_timeout=op_timeout,
             disorder_bound=disorder_bound, feedback=feedback,
             config=config)
+        if elastic or reshard_at or supervisor or autoscaler:
+            self.engine: ShardedEngine = ElasticShardedEngine(
+                build, supervisor=supervisor, autoscaler=autoscaler,
+                **shared)
+        else:
+            self.engine = ShardedEngine(build, **shared)
+        self._reshard_at = sorted((reshard_at or {}).items())
         self.heartbeats = dict(heartbeats or {})
         if wake_every <= 0:
             raise WorkloadError(f"wake_every must be positive, "
@@ -157,6 +177,10 @@ class ShardedSimulation:
             if pending >= self.wake_every:
                 self.records.extend(engine.wakeup())
                 pending = 0
+                while self._reshard_at and time >= self._reshard_at[0][0]:
+                    _, target = self._reshard_at.pop(0)
+                    report = engine.reshard(target, reason="scheduled")
+                    self.records.extend(report.released)
         if eos:
             final_ts = max(until, last_time) + 1.0
             for name in sorted(self._arrivals):

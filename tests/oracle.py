@@ -31,7 +31,7 @@ from repro.core.graph import QueryGraph
 from repro.core.operators.sink import SinkNode
 from repro.core.operators.source import SourceNode
 from repro.recovery import RecoveryManager
-from repro.shard import ShardedEngine
+from repro.shard import ElasticShardedEngine, ShardedEngine
 from repro.sim.clock import VirtualClock
 
 __all__ = ["CrashRecoveryOracle", "Feed", "DifferentialOracle",
@@ -475,6 +475,73 @@ class ShardedDifferentialOracle:
             released.extend(engine.close(flush=True))
         # MergedRecord is (ts, shard, seq, sink, payload).
         return [(sink, ts, payload) for ts, _, _, sink, payload in released]
+
+    def run_elastic(self, *, shards: int,
+                    reshard_at: dict[int, int] | None = None,
+                    backend: str = "serial", batch_size: int = 1,
+                    ets_policy_factory: Callable[[], EtsPolicy] | None = None,
+                    punctuate: bool = False, state_dir=None,
+                    checkpoint_every: int | None = None,
+                    supervisor=None, autoscaler=None,
+                    observers=None) -> list[SinkRecord]:
+        """Like :meth:`run_sharded`, but through the elastic engine with
+        live reshards at the given ``{chunk_number: target_shards}``
+        schedule (applied right after that chunk's wake-up)."""
+        reshard_at = dict(reshard_at or {})
+        engine = ElasticShardedEngine(
+            self.build, shards=shards, key=self.key, backend=backend,
+            ets_policy_factory=ets_policy_factory, batch_size=batch_size,
+            state_dir=state_dir, checkpoint_every=checkpoint_every,
+            supervisor=supervisor, autoscaler=autoscaler,
+            observers=observers)
+        released = []
+        try:
+            now = 0.0
+            for chunk_no, group in enumerate(_chunks(self.feeds, self.chunk),
+                                             1):
+                for feed in group:
+                    engine.ingest(feed.source, feed.payload, time=feed.time,
+                                  ts=feed.external_ts)
+                    now = feed.time
+                if (punctuate and self.punctuate_every
+                        and chunk_no % self.punctuate_every == 0):
+                    for name in self.source_names:
+                        engine.inject_punctuation(
+                            name, now, origin=f"oracle:{name}", periodic=True)
+                released.extend(engine.wakeup())
+                if chunk_no in reshard_at:
+                    report = engine.reshard(reshard_at.pop(chunk_no))
+                    released.extend(report.released)
+            final_ts = now + 1.0
+            for name in self.source_names:
+                engine.inject_punctuation(name, final_ts,
+                                          origin=f"oracle-eos:{name}")
+            released.extend(engine.wakeup())
+        finally:
+            released.extend(engine.close(flush=True))
+        return [(sink, ts, payload) for ts, _, _, sink, payload in released]
+
+    def assert_elastic_equals_single(
+            self, *, shards: int, reshard_at: dict[int, int],
+            backend: str = "serial", batch_size: int = 1,
+            ets_policy_factory: Callable[[], EtsPolicy] | None = None,
+            punctuate: bool = False, state_dir=None,
+            checkpoint_every: int | None = None) -> None:
+        """Output across live reshards must equal the single engine's."""
+        def policy() -> EtsPolicy | None:
+            return ets_policy_factory() if ets_policy_factory else None
+
+        reference = _canonical(self.run_single(
+            batch_size=batch_size, ets_policy=policy(), punctuate=punctuate))
+        assert reference, "empty single-engine trace proves nothing"
+        got = _canonical(self.run_elastic(
+            shards=shards, reshard_at=reshard_at, backend=backend,
+            batch_size=batch_size, ets_policy_factory=ets_policy_factory,
+            punctuate=punctuate, state_dir=state_dir,
+            checkpoint_every=checkpoint_every))
+        _assert_same(reference, got,
+                     f"elastic (P={shards}, reshard_at={reshard_at}, "
+                     f"backend={backend}) diverged from the single engine")
 
     # ------------------------------------------------------------------ #
     # Differential assertion

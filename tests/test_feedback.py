@@ -515,7 +515,7 @@ def test_persistent_stall_still_raises():
     backend = ProcessBackend(
         1, lambda i: (_stalling_build, {}), op_timeout=0.08, retry_limit=1)
     try:
-        with pytest.raises(ShardTimeoutError, match="1 retries"):
+        with pytest.raises(ShardTimeoutError, match="1 backoff retries"):
             backend.apply_all(
                 [([("src", {"stall": True}, 0.5, None)], [], 0.5)])
     finally:

@@ -192,3 +192,66 @@ def test_frontier_spread_and_dict():
     assert state["global"] == 4.0
     assert state["spread"] == 6.0
     assert not math.isinf(state["spread"])
+
+
+# --------------------------------------------------------------------- #
+# Resize across the reshard boundary
+
+
+def test_resize_registers_new_shards_at_the_floor():
+    tracker = FrontierTracker(2)
+    tracker.advertise(0, 4.0)
+    tracker.advertise(1, 10.0)
+    tracker.resize(3, floor=4.0)
+    assert tracker.shards == 3
+    assert [tracker.frontier(s) for s in range(3)] == [4.0, 4.0, 4.0]
+    assert tracker.global_frontier() == 4.0
+
+
+def test_resize_without_floor_uses_the_global_minimum():
+    tracker = FrontierTracker(3)
+    for shard, frontier in ((0, 2.0), (1, 5.0), (2, 9.0)):
+        tracker.advertise(shard, frontier)
+    tracker.resize(2)
+    assert [tracker.frontier(s) for s in range(2)] == [2.0, 2.0]
+
+
+def test_stale_advertisement_after_resize_is_clamped_and_counted():
+    """A restored shard replaying a pre-reshard frontier must be clamped
+    to the floor *and* tallied in ``regressions``, exactly like an
+    in-place regression — the counters survive the resize."""
+    tracker = FrontierTracker(2)
+    tracker.advertise(0, 6.0)
+    tracker.advertise(1, 8.0)
+    tracker.advertise(1, 7.0)          # in-place regression
+    assert tracker.regressions == 1
+    tracker.resize(3, floor=6.0)
+    assert tracker.regressions == 1 and tracker.advertisements == 3
+    stored = tracker.advertise(2, 3.5)  # stale pre-reshard frontier
+    assert stored == 6.0
+    assert tracker.regressions == 2 and tracker.advertisements == 4
+    assert tracker.global_frontier() == 6.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("advertise"), st.integers(0, 5),
+                  st.floats(min_value=0, max_value=1e6)),
+        st.tuples(st.just("resize"), st.integers(1, 6), st.none()),
+    ),
+    max_size=40))
+def test_global_frontier_is_monotone_across_resizes(ops):
+    """Interleave advertisements with floor-carrying resizes: the global
+    frontier never regresses, even when the shard count shrinks or a
+    stale shard advertises below the reshard floor."""
+    tracker = FrontierTracker(3)
+    last_global = tracker.global_frontier()
+    for op, a, b in ops:
+        if op == "advertise":
+            tracker.advertise(a % tracker.shards, b)
+        else:
+            tracker.resize(a, floor=tracker.global_frontier())
+        now_global = tracker.global_frontier()
+        assert now_global >= last_global
+        last_global = now_global
